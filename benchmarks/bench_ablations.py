@@ -1,0 +1,141 @@
+"""Ablations of the paper's explicit design choices.
+
+* §5.1: "A page size aligned with the file system lock granularity is
+  recommended, since it prevents false sharing" — run the caching layer
+  with aligned vs misaligned page sizes and watch conflicts appear.
+* §2.6: the 10th-order filter exists to stabilize the non-dissipative
+  scheme — run the acoustic pulse with and without it and watch the
+  Nyquist mode grow.
+* §4 boundary treatment: reduced-order (4th) boundary closures are
+  stable where high-order (6th) one-sided closures are not, on long
+  horizons.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.chemistry.mechanisms import air
+from repro.core import BoundarySpec, Grid, S3DSolver, SolverConfig, ic
+from repro.core.config import periodic_boundaries
+from repro.io import MPIIOCache, S3DCheckpoint
+from repro.io.filesystem import FSConfig, SimFileSystem
+from repro.util.constants import P_ATM
+
+
+def test_ablation_cache_page_alignment(benchmark):
+    """Aligned pages: zero conflicts. Misaligned pages: false sharing."""
+
+    def run(page_size):
+        fs = SimFileSystem(FSConfig(name="t", lock_unit=4096, n_servers=4))
+        cache = MPIIOCache(fs, "f", n_ranks=4, page_size=page_size)
+        rng = np.random.default_rng(0)
+        flush = []
+        for k in range(64):
+            cache.write(k % 4, 911 * k, bytes(rng.bytes(800)),
+                        flush_requests=flush)
+        if flush:
+            fs.phase_write(flush)
+        cache.close()
+        return fs
+
+    def both():
+        return run(4096), run(3000)
+
+    aligned, misaligned = benchmark.pedantic(both, rounds=1, iterations=1)
+    write_result(
+        "ablation_page_alignment.txt",
+        "Ablation: caching page size vs lock granularity (4096 B)\n\n"
+        f"aligned (page = 4096):   {aligned.conflict_units} conflicting units, "
+        f"lock wait {aligned.time.lock_wait * 1e3:.2f} ms\n"
+        f"misaligned (page = 3000): {misaligned.conflict_units} conflicting units, "
+        f"lock wait {misaligned.time.lock_wait * 1e3:.2f} ms\n",
+    )
+    assert aligned.conflict_units == 0
+    assert misaligned.conflict_units > 0
+    assert misaligned.time.lock_wait > aligned.time.lock_wait
+
+
+def _nyquist_run(filter_interval, n=64, steps=100):
+    """Seed a Nyquist (odd-even) velocity perturbation and measure its
+    amplitude after ``steps`` — the exact mode the filter exists to kill."""
+    from repro.core import State
+
+    mech = air()
+    y_air = mech.mass_fractions_from({"O2": 0.233, "N2": 0.767})
+    grid = Grid((n,), (1.0,), periodic=(True,))
+    u0 = 1e-3 * (-1.0) ** np.arange(n)
+    rho = mech.density(P_ATM, 300.0, y_air)
+    state = State.from_primitive(mech, grid, rho, [u0], 300.0, y_air)
+    cfg = SolverConfig(boundaries=periodic_boundaries(1), cfl=0.5,
+                       filter_interval=filter_interval, filter_alpha=0.2)
+    solver = S3DSolver(state, cfg, transport=None, reacting=False)
+    for _ in range(steps):
+        solver.step()
+        if not np.isfinite(solver.state.u).all():
+            return np.inf
+    _, vel, _, _, _, _ = state.primitives()
+    # amplitude of the odd-even mode
+    signs = (-1.0) ** np.arange(n)
+    return float(abs((vel[0] * signs).mean()))
+
+
+def test_ablation_filter_necessity(benchmark):
+    """Without the 10th-order filter the central scheme cannot remove
+    odd-even (Nyquist) content — the §2.6 design rationale."""
+
+    def both():
+        return _nyquist_run(1), _nyquist_run(0)
+
+    amp_f, amp_nf = benchmark.pedantic(both, rounds=1, iterations=1)
+    write_result(
+        "ablation_filter.txt",
+        "Ablation: 10th-order filter vs a seeded Nyquist velocity mode\n"
+        "(initial amplitude 1e-3 m/s, 100 steps, periodic domain)\n\n"
+        f"with filter:    residual amplitude {amp_f:.3e} m/s\n"
+        f"without filter: residual amplitude {amp_nf:.3e} m/s\n",
+    )
+    assert amp_f < 1e-9          # filter annihilates the mode
+    assert amp_nf > 100 * max(amp_f, 1e-30)  # central scheme cannot
+
+
+def test_ablation_boundary_order(benchmark):
+    """High-order one-sided boundary closures are GKS-unstable over long
+    horizons; the reduced-order (4th) closures used here are not."""
+    from repro.core.derivatives import DerivativeOperator
+    from repro.core.erk import ERKIntegrator
+
+    def advect(order, steps=4000):
+        """Linear advection u_t = -u_x with an inflow on the left."""
+        n = 64
+        dx = 1.0 / (n - 1)
+        op = DerivativeOperator(n, dx, periodic=False, boundary_order=order)
+        integ = ERKIntegrator("ck45")
+        u = np.exp(-((np.linspace(0, 1, n) - 0.3) / 0.08) ** 2)
+
+        def rhs(t, u):
+            du = -op(u)
+            du[0] = 0.0  # inflow held
+            return du
+
+        dt = 0.4 * dx
+        for _ in range(steps):
+            u = integ.step(rhs, 0.0, u, dt)
+            if not np.isfinite(u).all() or np.abs(u).max() > 1e3:
+                return np.inf
+        return float(np.abs(u).max())
+
+    def both():
+        return advect(4), advect(8)
+
+    stable, high = benchmark.pedantic(both, rounds=1, iterations=1)
+    write_result(
+        "ablation_boundary_order.txt",
+        "Ablation: boundary-closure order, linear advection 4000 steps\n\n"
+        f"4th-order closures: max|u| = {stable:.3e}\n"
+        f"8th-order closures: max|u| = {high if np.isfinite(high) else float('inf'):.3e}\n",
+    )
+    assert np.isfinite(stable)
+    assert stable < 2.0
+    # the high-order closure either blows up or grows substantially more
+    assert (not np.isfinite(high)) or high > stable

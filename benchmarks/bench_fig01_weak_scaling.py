@@ -1,0 +1,55 @@
+"""Figure 1: weak scaling of S3D on XT3, XT4, and the hybrid Jaguar.
+
+Paper series: ~55 us/point/step on XT4 (flat, 2 -> 8192 cores),
+~68 us on XT3, and the hybrid pinned to the XT3 rate beyond the XT4
+partition (12000-22800 cores).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.perfmodel import XT3, XT4, hybrid_weak_scaling, weak_scaling_curve
+from repro.perfmodel.roofline import achieved_flops_fraction, total_time
+from repro.perfmodel.kernels import s3d_kernel_inventory
+
+CORES = [2, 8, 64, 512, 2048, 8192]
+HYBRID_CORES = [2, 64, 2048, 8192, 12000, 16000, 22800]
+
+
+def _figure():
+    t3 = weak_scaling_curve(XT3, CORES)
+    t4 = weak_scaling_curve(XT4, CORES)
+    hyb = hybrid_weak_scaling(HYBRID_CORES)
+    lines = ["Figure 1: cost per grid point per time step [us]", ""]
+    lines.append(f"{'cores':>8s}{'XT3':>10s}{'XT4':>10s}")
+    for c, a, b in zip(CORES, t3, t4):
+        lines.append(f"{c:>8d}{a * 1e6:>10.2f}{b * 1e6:>10.2f}")
+    lines.append("")
+    lines.append(f"{'cores':>8s}{'hybrid':>10s}")
+    for c, h in zip(HYBRID_CORES, hyb):
+        lines.append(f"{c:>8d}{h * 1e6:>10.2f}")
+    return t3, t4, hyb, "\n".join(lines)
+
+
+def test_fig01_weak_scaling(benchmark):
+    t3, t4, hyb, text = benchmark.pedantic(_figure, rounds=1, iterations=1)
+    write_result("fig01_weak_scaling.txt", text)
+    # paper levels
+    assert t4[0] * 1e6 == pytest.approx(55.0, rel=0.03)
+    assert t3[0] * 1e6 == pytest.approx(68.0, rel=0.03)
+    # flat weak scaling
+    assert (max(t4) - min(t4)) / min(t4) < 0.05
+    # hybrid pinned to XT3 beyond 2 x 5294 XT4 cores
+    assert hyb[-1] * 1e6 == pytest.approx(t3[0] * 1e6, rel=0.05)
+    assert hyb[0] * 1e6 == pytest.approx(t4[0] * 1e6, rel=0.05)
+    benchmark.extra_info["xt3_us"] = t3[0] * 1e6
+    benchmark.extra_info["xt4_us"] = t4[0] * 1e6
+
+
+def test_fig01_fifteen_percent_of_peak(benchmark):
+    """§4.1's companion number: 0.305 flops/cycle = 15 % of peak."""
+    frac = benchmark.pedantic(
+        lambda: achieved_flops_fraction(s3d_kernel_inventory(), XT3),
+        rounds=1, iterations=1,
+    )
+    assert frac == pytest.approx(0.15, abs=0.01)

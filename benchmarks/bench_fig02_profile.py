@@ -1,0 +1,41 @@
+"""Figure 2: per-kernel exclusive-time breakdown in a hybrid run.
+
+Paper observations: two equivalence classes of processes; the XT4 class
+spends far longer in MPI_Wait; REACTION_RATE takes nearly identical
+time in both classes; COMPUTESPECIESDIFFFLUX takes noticeably longer on
+XT3 nodes.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.perfmodel import profile_hybrid_run
+from repro.perfmodel.profiler import class_means
+
+
+def _figure():
+    profiles = profile_hybrid_run(6400 * 2, sample_ranks=16, seed=3)
+    cm = class_means(profiles)
+    kernels = sorted(cm["XT3"], key=lambda k: -cm["XT3"][k])
+    lines = ["Figure 2: mean exclusive time per kernel per class [us]", ""]
+    lines.append(f"{'kernel':<26s}{'XT3':>10s}{'XT4':>10s}")
+    for k in kernels:
+        lines.append(f"{k:<26s}{cm['XT3'][k] * 1e6:>10.2f}{cm['XT4'][k] * 1e6:>10.2f}")
+    return cm, "\n".join(lines)
+
+
+def test_fig02_profile_breakdown(benchmark):
+    cm, text = benchmark.pedantic(_figure, rounds=1, iterations=1)
+    write_result("fig02_profile.txt", text)
+    # XT4 ranks wait; XT3 ranks compute
+    assert cm["XT4"]["MPI_WAIT"] > 5 * cm["XT3"]["MPI_WAIT"]
+    # compute-bound kernel identical across classes
+    assert cm["XT3"]["REACTION_RATES"] == pytest.approx(
+        cm["XT4"]["REACTION_RATES"], rel=0.05
+    )
+    # memory-bound kernel noticeably slower on XT3
+    assert cm["XT3"]["COMPUTESPECIESDIFFFLUX"] > 1.4 * cm["XT4"]["COMPUTESPECIESDIFFFLUX"]
+    # bulk-synchronous balance: class totals agree
+    assert sum(cm["XT3"].values()) == pytest.approx(
+        sum(cm["XT4"].values()), rel=0.05
+    )

@@ -1,0 +1,33 @@
+"""Figure 3: predicted average cost per grid point when balancing load
+between XT3 (50x50x40 blocks) and XT4 (50x50x50 blocks) nodes.
+
+Paper: the curve falls from 68 us (all XT3) to ~55 us (all XT4), with
+~61 us predicted at Jaguar's 46 % XT4 share.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.perfmodel.loadbalance import balance_curve, predicted_jaguar_cost
+
+
+def _figure():
+    f, cost = balance_curve(np.linspace(0.0, 1.0, 11))
+    lines = ["Figure 3: rebalanced cost per grid point per step [us]", ""]
+    lines.append(f"{'XT4 fraction':>14s}{'cost [us]':>12s}")
+    for x, c in zip(f, cost):
+        lines.append(f"{x:>14.2f}{c * 1e6:>12.2f}")
+    lines.append("")
+    lines.append(f"Jaguar (46 % XT4) prediction: {predicted_jaguar_cost() * 1e6:.2f} us"
+                 " (paper: 61 us)")
+    return f, cost, "\n".join(lines)
+
+
+def test_fig03_load_balance(benchmark):
+    f, cost, text = benchmark.pedantic(_figure, rounds=1, iterations=1)
+    write_result("fig03_load_balance.txt", text)
+    assert cost[0] * 1e6 == pytest.approx(68.0, rel=0.03)
+    assert cost[-1] * 1e6 == pytest.approx(55.0, rel=0.03)
+    assert predicted_jaguar_cost() * 1e6 == pytest.approx(61.0, rel=0.03)
+    assert np.all(np.diff(cost[1:]) < 0)

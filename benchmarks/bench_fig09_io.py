@@ -1,0 +1,118 @@
+"""Figure 9: S3D-I/O write bandwidth and file-open time.
+
+Paper observables, reproduced as *shape*:
+
+* Lustre: Fortran file-per-process fastest; write-behind beats MPI-I/O
+  caching; caching beats native collective; native independent I/O is
+  under ~5-15 MB/s.
+* GPFS: caching > collective > write-behind; Fortran's file-open time
+  blows up with process count until caching overtakes it at 64+
+  processes; Lustre "handles larger numbers of files more efficiently".
+
+Runs the cost model at the paper's scale (8-128 processes, 50^3 blocks,
+10 checkpoints); byte-level correctness of every path is covered by the
+test suite at reduced scale.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.io import gpfs, lustre
+from repro.io.filesystem import SimFileSystem
+from repro.io.iomodel import run_io_model
+
+PROC_GRIDS = {8: (2, 2, 2), 16: (4, 2, 2), 32: (4, 4, 2), 64: (4, 4, 4),
+              128: (8, 4, 4)}
+METHODS = ("fortran", "independent", "collective", "caching", "writebehind")
+
+
+def _sweep(fs_factory):
+    out = {}
+    for n, grid in PROC_GRIDS.items():
+        out[n] = {
+            m: run_io_model(fs_factory, m, grid, n_checkpoints=10)
+            for m in METHODS
+        }
+    return out
+
+
+def _render(name, res):
+    lines = [f"Figure 9 ({name}): write bandwidth [MB/s] and open time [s]", ""]
+    lines.append(f"{'procs':>6s}" + "".join(f"{m:>14s}" for m in METHODS))
+    for n in sorted(res):
+        lines.append(
+            f"{n:>6d}" + "".join(
+                f"{res[n][m]['bandwidth'] / 1e6:>14.1f}" for m in METHODS
+            )
+        )
+    lines.append("")
+    lines.append(f"{'procs':>6s}" + "".join(f"{m:>14s}" for m in METHODS)
+                 + "   (open time [s])")
+    for n in sorted(res):
+        lines.append(
+            f"{n:>6d}" + "".join(
+                f"{res[n][m]['open_time']:>14.2f}" for m in METHODS
+            )
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def lustre_sweep():
+    return _sweep(lambda: SimFileSystem(lustre()))
+
+
+@pytest.fixture(scope="module")
+def gpfs_sweep():
+    return _sweep(lambda: SimFileSystem(gpfs()))
+
+
+def test_fig09_lustre(benchmark, lustre_sweep):
+    res = benchmark.pedantic(lambda: lustre_sweep, rounds=1, iterations=1)
+    write_result("fig09_lustre.txt", _render("Lustre", res))
+    for n in res:
+        bw = {m: res[n][m]["bandwidth"] for m in METHODS}
+        assert bw["fortran"] > bw["writebehind"] > bw["caching"] > bw["collective"]
+        assert bw["independent"] < 20e6  # "less than 5 MB/s" class
+
+def test_fig09_gpfs(benchmark, gpfs_sweep):
+    res = benchmark.pedantic(lambda: gpfs_sweep, rounds=1, iterations=1)
+    write_result("fig09_gpfs.txt", _render("GPFS", res))
+    for n in res:
+        bw = {m: res[n][m]["bandwidth"] for m in METHODS}
+        assert bw["caching"] > bw["collective"] > bw["writebehind"] > bw["independent"]
+    # Fortran loses to caching at scale on GPFS (open-time collapse)
+    assert res[128]["fortran"]["bandwidth"] < res[128]["caching"]["bandwidth"]
+    assert res[8]["fortran"]["bandwidth"] > res[8]["caching"]["bandwidth"]
+
+
+def test_fig09_open_times(benchmark, lustre_sweep, gpfs_sweep):
+    def check():
+        return (gpfs_sweep[128]["fortran"]["open_time"],
+                lustre_sweep[128]["fortran"]["open_time"],
+                gpfs_sweep[128]["caching"]["open_time"])
+
+    g_fortran, l_fortran, g_shared = benchmark.pedantic(check, rounds=1,
+                                                        iterations=1)
+    # GPFS mass file creation is dramatically more expensive than
+    # Lustre's, and than GPFS shared-file opens
+    assert g_fortran > 8 * l_fortran
+    assert g_fortran > 8 * g_shared
+
+
+def test_fig09_alignment_mechanism(benchmark):
+    """The §5 causal claim: caching's advantage comes from lock-unit
+    alignment — it produces zero conflicting lock units while native
+    independent I/O conflicts massively."""
+    def run():
+        ind = run_io_model(lambda: SimFileSystem(lustre()), "independent",
+                           (2, 2, 2), n_checkpoints=2)
+        cach = run_io_model(lambda: SimFileSystem(lustre()), "caching",
+                            (2, 2, 2), n_checkpoints=2)
+        return ind, cach
+
+    ind, cach = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cach["conflict_units"] == 0
+    # independent I/O shares essentially every lock unit of every file
+    # (the unit count is bounded by file size / lock unit)
+    assert ind["conflict_units"] > 300

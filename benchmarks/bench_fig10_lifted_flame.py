@@ -1,0 +1,86 @@
+"""Figures 10 and 14: structure of the lifted flame base.
+
+Paper results reproduced (scaled 2D run, see repro.scenarios):
+
+* the HO2 radical accumulates upstream of OH and the other
+  high-temperature radicals — the marker that the base is stabilized by
+  autoignition, not flame propagation;
+* the flame is lifted: no OH at the jet exit;
+* simultaneous volume rendering of OH + HO2 (and with the
+  stoichiometric mixture-fraction isosurface, Fig 14).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import liftoff_height, bilger_mixture_fraction
+from repro.analysis.mixture_fraction import stoichiometric_mixture_fraction
+from repro.viz import save_ppm, simultaneous_render
+from repro.viz.volume import render_isosurface_mask
+
+
+def test_fig10_ho2_upstream_of_oh(benchmark, lifted_run):
+    data = benchmark.pedantic(lambda: lifted_run, rounds=1, iterations=1)
+    mech = data["info"]["mech"]
+    grid = data["info"]["grid"]
+    Y = data["Y"]
+    oh = Y[mech.index("OH")]
+    ho2 = Y[mech.index("HO2")]
+    x = grid.coords[0]
+
+    h_ho2 = liftoff_height(ho2, grid, 0.25 * ho2.max(), axis=0)
+    h_oh = liftoff_height(oh, grid, 0.25 * oh.max(), axis=0)
+    x_pk_ho2 = x[np.argmax(ho2.max(axis=1))]
+    x_pk_oh = x[np.argmax(oh.max(axis=1))]
+
+    write_result(
+        "fig10_lifted_flame.txt",
+        "Figure 10: lifted-flame base structure (scaled 2D run)\n\n"
+        f"HO2 first exceeds threshold at x = {h_ho2 * 1e3:.3f} mm\n"
+        f"OH  first exceeds threshold at x = {h_oh * 1e3:.3f} mm\n"
+        f"HO2 peak at x = {x_pk_ho2 * 1e3:.3f} mm\n"
+        f"OH  peak at x = {x_pk_oh * 1e3:.3f} mm\n\n"
+        "HO2 accumulates upstream of OH: autoignition stabilization.\n",
+    )
+    # the paper's core §6 claims, asserted on the *base* structure
+    # (at late ignition runaway HO2 also accumulates in the downstream
+    # ignition front, so global peak positions are not the right probe)
+    assert h_ho2 < h_oh             # HO2 precedes OH along the jet
+    # upstream of the OH front, HO2 dominates (relative to each field's
+    # own maximum): the precursor zone of Figs 10/14
+    k_front = int(np.searchsorted(x, h_oh))
+    if k_front > 1:
+        base_ho2 = ho2[:k_front].max() / ho2.max()
+        base_oh = oh[:k_front].max() / oh.max()
+        assert base_ho2 > base_oh
+    # lifted: the high-OH flame base sits away from the exit plane
+    assert oh[0].max() < 0.05 * oh.max()
+    assert data["T"].max() < 3000.0  # sanity: no blow-up
+
+
+def test_fig14_simultaneous_rendering(benchmark, lifted_run):
+    mech = lifted_run["info"]["mech"]
+    Y = lifted_run["Y"]
+
+    def render():
+        oh = Y[mech.index("OH")]
+        ho2 = Y[mech.index("HO2")]
+        z = bilger_mixture_fraction(
+            mech, Y, lifted_run["info"]["y_fuel"], lifted_run["info"]["y_air"]
+        )
+        z_st = stoichiometric_mixture_fraction(
+            mech, lifted_run["info"]["y_fuel"], lifted_run["info"]["y_air"]
+        )
+        iso = render_isosurface_mask(z, z_st)
+        pair = simultaneous_render({"OH": oh, "HO2": ho2})
+        with_iso = simultaneous_render({"OH": oh, "HO2": ho2, "mixfrac": iso})
+        return pair, with_iso
+
+    pair, with_iso = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_ppm("benchmarks/results/fig14_oh_ho2.ppm", pair)
+    save_ppm("benchmarks/results/fig14_with_isosurface.ppm", with_iso)
+    assert pair.shape[2] == 3
+    assert pair.max() > 0.05  # something visible
+    # the two fields occupy (partially) different pixels
+    assert not np.allclose(pair, with_iso)

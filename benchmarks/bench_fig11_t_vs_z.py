@@ -1,0 +1,93 @@
+"""Figure 11: temperature vs mixture fraction at axial stations.
+
+Paper result: "temperature first increases in a fuel-lean mixture, and
+subsequently the peak shifts toward richer mixtures, clearly indicating
+that ignition occurs first under hot, fuel-lean conditions where
+ignition delays are shorter."
+
+Reproduced two ways: conditional T statistics of the scaled lifted-jet
+DNS at axial stations, and (the controlled version of the same physics)
+homogeneous-reactor ignition delays along the fuel/coflow mixing line.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import bilger_mixture_fraction, conditional_mean
+from repro.analysis.mixture_fraction import stoichiometric_mixture_fraction
+from repro.chemistry import ignition_delay
+from repro.util.constants import P_ATM
+
+
+def test_fig11_conditional_temperature(benchmark, lifted_run):
+    data = benchmark.pedantic(lambda: lifted_run, rounds=1, iterations=1)
+    mech = data["info"]["mech"]
+    grid = data["info"]["grid"]
+    T, Y = data["T"], data["Y"]
+    y_fuel, y_air = data["info"]["y_fuel"], data["info"]["y_air"]
+    z = bilger_mixture_fraction(mech, Y, y_fuel, y_air)
+    z_st = stoichiometric_mixture_fraction(mech, y_fuel, y_air)
+
+    nx = grid.shape[0]
+    lines = ["Figure 11: conditional mean T(Z) at axial stations", ""]
+    lines.append(f"Z_st = {z_st:.3f}")
+    peaks = {}
+    for frac, label in ((0.5, "x/L=1/2"), (0.75, "x/L=3/4"), (1.0, "outlet")):
+        sl = slice(int(0.85 * frac * nx), max(int(frac * nx), 2))
+        zz = z[sl].ravel()
+        tt = T[sl].ravel()
+        centers, mean, std, count = conditional_mean(zz, tt, bins=14,
+                                                     range_=(0.0, 0.7))
+        # temperature *rise* above the frozen mixing line T_mix(Z)
+        t_mix = 1300.0 + (400.0 - 1300.0) * centers
+        rise = mean - t_mix
+        ok = np.isfinite(rise)
+        k = int(np.nanargmax(np.where(ok, rise, -np.inf)))
+        peaks[label] = (centers[k], float(rise[k]))
+        lines.append(f"\nstation {label}: peak T-rise {rise[k]:8.1f} K at "
+                     f"Z = {centers[k]:.3f}")
+        for c, m, r in zip(centers, mean, rise):
+            if np.isfinite(m):
+                lines.append(f"  Z = {c:5.3f}  <T> = {m:7.1f} K   rise = {r:7.1f} K")
+    write_result("fig11_t_vs_z.txt", "\n".join(lines))
+
+    # ignition begins lean: the station where the rise is largest peaks
+    # at Z below stoichiometric
+    best = max(peaks.values(), key=lambda p: p[1])
+    assert best[1] > 10.0           # a measurable ignition rise
+    assert best[0] < z_st + 0.05    # on the lean side
+
+
+def test_fig11_lean_ignites_first(benchmark):
+    """The mixing-line reactor version: ignition delay is shortest on
+    the hot lean side and grows toward rich mixtures."""
+    from repro.chemistry import h2_li2004
+    from repro.scenarios import fuel_and_coflow
+
+    mech = h2_li2004()
+    y_fuel, y_air = fuel_and_coflow(mech)
+
+    def sweep():
+        out = []
+        for zmix in (0.05, 0.1, 0.2, 0.3):
+            Y = zmix * y_fuel + (1 - zmix) * y_air
+            T0 = zmix * 400.0 + (1 - zmix) * 1100.0  # the paper's 1100 K coflow
+            tau = ignition_delay(mech, T0, P_ATM, Y, t_end=0.05, n_out=2000)
+            out.append((zmix, T0, tau))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ["Figure 11 (mixing-line reactors, 1100 K coflow):", "",
+            f"{'Z':>6s}{'T_mix [K]':>12s}{'tau_ign [us]':>14s}"]
+    for zmix, T0, tau in rows:
+        text.append(f"{zmix:>6.2f}{T0:>12.1f}{tau * 1e6:>14.1f}")
+    text.append("\nZ_st ~ 0.16: the shortest delays sit on the hot lean side.")
+    write_result("fig11_mixing_line.txt", "\n".join(text))
+    taus = {z: t for z, _, t in rows}
+    # the most-reactive mixture is lean (Z below stoichiometric ~0.16)
+    z_best = min(taus, key=taus.get)
+    assert z_best <= 0.1
+    # richer/colder mixtures take far longer (or never ignite in window)
+    assert taus[0.2] > 1.5 * taus[z_best]
+    assert taus[0.3] > taus[0.2] or not np.isfinite(taus[0.3])

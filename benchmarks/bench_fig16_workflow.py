@@ -1,0 +1,79 @@
+"""Figures 16-18: the S3D Kepler workflow and dashboard.
+
+Reproduced end to end: the three-pipeline workflow drains a simulated
+production run across the jaguar -> ewok -> {HPSS, Sandia, UC Davis}
+fleet; fault injection plus a checkpointed restart demonstrates the
+ProcessFile fault-tolerance design; the dashboard model carries Fig 17's
+min/max traces and Fig 18's job monitor.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.workflow import Dashboard, ProvenanceStore
+from repro.workflow.s3d_pipeline import (
+    make_environment,
+    run_s3d_workflow,
+    simulate_s3d_run,
+)
+
+
+def _full_cycle():
+    env = make_environment()
+    manifest = simulate_s3d_run(env, n_checkpoints=5)
+    env.fail_next("convert", 20)  # a flaky conversion service
+    checkpoints = {}
+    wf1, taps1, d1 = run_s3d_workflow(env, checkpoints=checkpoints)
+    wf2, taps2, d2 = run_s3d_workflow(env, checkpoints=checkpoints)
+    return env, manifest, (wf1, taps1, d1), (wf2, taps2, d2)
+
+
+def test_fig16_pipelines_and_restart(benchmark):
+    env, manifest, run1, run2 = benchmark.pedantic(_full_cycle, rounds=1,
+                                                   iterations=1)
+    wf1, taps1, d1 = run1
+    wf2, taps2, d2 = run2
+
+    n_restart = len(manifest["restart"])
+    n_netcdf = len(manifest["netcdf"])
+    # pipeline 1: restart -> morph -> archive -> sandia
+    assert len(taps1["restart_done"].items) == n_restart // 2
+    assert len(env["hpss"].listdir("morph/")) == n_restart // 2
+    # pipeline 2 was crippled by the fault, recovered on restart
+    # (cached ProcessFile outputs re-emit downstream, so count distinct
+    # artifacts)
+    distinct = {t.value for t in taps1["images"].items} | {
+        t.value for t in taps2["images"].items
+    }
+    assert len(distinct) == n_netcdf
+    assert len(taps1["images"].items) < n_netcdf  # run 1 was crippled
+    # restart skipped completed transfers
+    assert wf2.actors["move_restart"].skipped == n_restart
+    # pipeline 3: dashboard series flowed
+    rows = [r for t in taps1["dashboard_series"].items for r in t.value]
+    assert {r["variable"] for r in rows} == {"T", "rho"}
+
+    # provenance closure: the archived morph traces to its parts
+    ps = ProvenanceStore()
+    for token in taps1["restart_done"].items:
+        ps.record_token(token.value, token)
+    assert len(ps) == n_restart // 2
+
+    db = Dashboard()
+    db.submit_job("1384698", "jaguar", "chen")
+    db.set_job_state("1384698", "running")
+    db.update_series(rows)
+    for t in taps2["images"].items:
+        db.register_image(t.value)
+    text = db.render_text()
+    write_result(
+        "fig16_workflow.txt",
+        "Figures 16-18: workflow execution summary\n\n"
+        f"run 1: {d1.firings} firings over {d1.rounds} rounds, "
+        f"{env.failures_injected} faults injected\n"
+        f"run 2 (restart): {d2.firings} firings, "
+        f"{wf2.actors['move_restart'].skipped} transfers skipped by checkpoint\n"
+        f"wide-area traffic: {env.transfer_bytes} bytes in "
+        f"{env.transfer_time:.2f} s simulated\n\n" + text + "\n",
+    )
+    assert "jaguar" in text

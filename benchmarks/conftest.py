@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures: the scaled DNS datasets are produced once
+per session and reused by every figure that reads them (exactly like
+the paper's workflow: one simulation, many analyses)."""
+
+import os
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a figure/table reproduction next to the benchmarks."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name), "w") as f:
+        f.write(text)
+
+
+@pytest.fixture(scope="session")
+def lifted_run():
+    """The scaled lifted-flame dataset (Figs 10, 11, 14): 900 steps of
+    the 2D hot-coflow jet."""
+    from repro.scenarios import lifted_jet
+
+    solver, info = lifted_jet(nx=72, ny=48)
+    for _ in range(900):
+        solver.step()
+    rho, vel, T, p, Y, _ = solver.state.primitives()
+    return {
+        "solver": solver,
+        "info": info,
+        "T": T,
+        "Y": Y,
+        "vel": vel,
+    }
+
+
+@pytest.fixture(scope="session")
+def bunsen_laminar():
+    """Laminar reference flame for the §7 configuration (PREMIX stand-in)."""
+    from repro.scenarios import bunsen_laminar_reference
+
+    props, t_b, y_b, flame = bunsen_laminar_reference()
+    return {"props": props, "t_b": t_b, "y_b": y_b, "flame": flame}
+
+
+@pytest.fixture(scope="session")
+def bunsen_runs(bunsen_laminar):
+    """Cases A/B/C of Table 1 (u'/SL = 3, 6, 10) in the scaled periodic
+    flame box, advanced ~0.4 flame times."""
+    from repro.scenarios import premixed_flame_box
+
+    props = bunsen_laminar["props"]
+    out = {}
+    for case, (intensity, lt_ratio) in {
+        "A": (3.0, 0.7), "B": (6.0, 1.0), "C": (10.0, 1.5)
+    }.items():
+        solver, info = premixed_flame_box(
+            u_rms_over_sl=intensity, sl=props.flame_speed,
+            delta_l=props.thermal_thickness,
+            t_burned=bunsen_laminar["t_b"], y_burned=bunsen_laminar["y_b"],
+            n=64, lt_over_delta=lt_ratio, seed=2,
+        )
+        target = 0.4 * info["flame_time"]
+        while solver.time < target:
+            solver.step()
+        _, _, T, _, Y, _ = solver.state.primitives()
+        out[case] = {"solver": solver, "info": info, "T": T, "Y": Y,
+                     "intensity": intensity}
+    out["laminar"] = bunsen_laminar
+    return out

@@ -1,0 +1,4 @@
+"""Setuptools shim so `pip install -e .` works offline (no wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro: a Python reproduction of "Terascale direct numerical
+simulations of turbulent combustion using S3D" (Chen et al.).
+
+Subpackages
+-----------
+core
+    The compressible reacting-flow DNS solver (paper §2).
+chemistry, transport
+    CHEMKIN/TRANSPORT-equivalent substrates.
+parallel
+    Simulated MPI, domain decomposition, halo exchange (§2.6).
+perfmodel, loopopt
+    The §3-§4 node-performance and loop-restructuring studies.
+io
+    The §5 parallel-I/O stack over a simulated Lustre/GPFS.
+turbulence, analysis
+    Synthetic turbulence, flame/mixing diagnostics, 1D laminar flames.
+viz, workflow
+    The §8 visualization and §9 Kepler-workflow substrates.
+scenarios
+    The paper's two DNS configurations at laptop scale.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

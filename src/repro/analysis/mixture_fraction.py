@@ -1,0 +1,63 @@
+"""Bilger mixture fraction.
+
+The conserved scalar used throughout §6: Z = 1 in the fuel stream, 0 in
+the oxidizer stream, advected and diffused but unaffected by chemistry
+(elemental composition is conserved). Computed from elemental mass
+fractions with the Bilger coupling function
+
+    beta = 2 Z_C / W_C + Z_H / (2 W_H) - Z_O / W_O
+    Z = (beta - beta_ox) / (beta_fuel - beta_ox)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chemistry.species import element_weight
+
+
+def _beta(mech, Y):
+    """Bilger coupling function from mass fractions, shape S."""
+    z = mech.element_mass_fractions(np.asarray(Y, dtype=float))
+    out = 0.0
+    for i, el in enumerate(mech.elements):
+        if el == "C":
+            out = out + 2.0 * z[i] / element_weight("C")
+        elif el == "H":
+            out = out + 0.5 * z[i] / element_weight("H")
+        elif el == "O":
+            out = out - z[i] / element_weight("O")
+    return out
+
+
+def bilger_mixture_fraction(mech, Y, Y_fuel, Y_ox):
+    """Mixture fraction field from mass fractions.
+
+    Parameters
+    ----------
+    mech:
+        Mechanism (supplies elemental composition).
+    Y:
+        Mass fractions, shape ``(Ns,) + S``.
+    Y_fuel, Y_ox:
+        Pure-stream compositions, shape ``(Ns,)``.
+    """
+    beta = _beta(mech, Y)
+    b_fuel = float(_beta(mech, np.asarray(Y_fuel, dtype=float)[:, None])[0])
+    b_ox = float(_beta(mech, np.asarray(Y_ox, dtype=float)[:, None])[0])
+    if b_fuel == b_ox:
+        raise ValueError("fuel and oxidizer streams have equal coupling function")
+    z = (beta - b_ox) / (b_fuel - b_ox)
+    return np.clip(z, 0.0, 1.0)
+
+
+def stoichiometric_mixture_fraction(mech, Y_fuel, Y_ox) -> float:
+    """Z_st: where fuel and oxidizer are in exact stoichiometric proportion.
+
+    Found by locating the zero of the coupling function along the mixing
+    line: Z_st = -beta_ox / (beta_fuel - beta_ox) since beta = 0 at
+    stoichiometry.
+    """
+    b_fuel = float(_beta(mech, np.asarray(Y_fuel, dtype=float)[:, None])[0])
+    b_ox = float(_beta(mech, np.asarray(Y_ox, dtype=float)[:, None])[0])
+    return -b_ox / (b_fuel - b_ox)

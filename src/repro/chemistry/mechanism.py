@@ -1,0 +1,224 @@
+"""Mechanism container: species + thermo + kinetics + mixture helpers.
+
+A :class:`Mechanism` is the single chemistry object handed to the DNS
+solver. It provides the constitutive relationships of §2.1 of the paper:
+the ideal-gas equation of state (7), mixture molecular weight (8),
+mass/mole-fraction conversion (9), the thermodynamic relations below (9),
+and the chemical source terms :math:`W_i \\dot\\omega_i` of the species
+equations (4).
+
+All bulk evaluations are vectorized: mass-fraction arrays have shape
+``(Ns,) + S`` for an arbitrary grid shape ``S``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chemistry.kinetics import KineticsEvaluator
+from repro.chemistry.species import element_weight
+from repro.chemistry.thermo import ThermoTable
+from repro.util.constants import RU
+
+
+class Mechanism:
+    """A reaction mechanism over an ordered species list."""
+
+    def __init__(self, species, reactions=(), name: str = "mechanism"):
+        if not species:
+            raise ValueError("a mechanism needs at least one species")
+        self.name = name
+        self.species = list(species)
+        self.species_names = [sp.name for sp in self.species]
+        if len(set(self.species_names)) != len(self.species_names):
+            raise ValueError("duplicate species names in mechanism")
+        self.weights = np.array([sp.weight for sp in self.species])  # kg/mol
+        self.thermo = ThermoTable([sp.thermo for sp in self.species])
+        self.reactions = list(reactions)
+        self.kinetics = (
+            KineticsEvaluator(self.species_names, self.reactions, self.thermo)
+            if self.reactions
+            else None
+        )
+        self._index = {name: i for i, name in enumerate(self.species_names)}
+        self.elements = sorted({el for sp in self.species for el in sp.composition})
+        #: element-composition matrix a[e, i] = atoms of element e in species i
+        self.element_matrix = np.array(
+            [[sp.n_atoms(el) for sp in self.species] for el in self.elements]
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    def index(self, name: str) -> int:
+        """Species index of ``name`` (KeyError if absent)."""
+        return self._index[name]
+
+    def _wshape(self, Y):
+        """Weights broadcast against a (Ns,)+S array."""
+        Y = np.asarray(Y, dtype=float)
+        return self.weights.reshape((-1,) + (1,) * (Y.ndim - 1)), Y
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def mean_weight(self, Y):
+        """Mixture molecular weight W [kg/mol] from mass fractions (eq. 8)."""
+        w, Y = self._wshape(Y)
+        return 1.0 / (Y / w).sum(axis=0)
+
+    def mass_to_mole(self, Y):
+        """Mole fractions X_i from mass fractions Y_i (eq. 9)."""
+        w, Y = self._wshape(Y)
+        wbar = self.mean_weight(Y)
+        return Y * wbar[None] / w
+
+    def mole_to_mass(self, X):
+        """Mass fractions Y_i from mole fractions X_i (eq. 9)."""
+        w, X = self._wshape(X)
+        wbar = (X * w).sum(axis=0)
+        return X * w / wbar[None]
+
+    def concentrations(self, rho, Y):
+        """Molar concentrations C_i = rho Y_i / W_i [mol/m^3]."""
+        w, Y = self._wshape(Y)
+        return np.asarray(rho, dtype=float)[None] * Y / w
+
+    def mass_fractions_from(self, mapping, shape=()):
+        """Build a (Ns,)+shape mass-fraction array from a name->Y dict."""
+        Y = np.zeros((self.n_species,) + tuple(shape))
+        for name, value in mapping.items():
+            Y[self.index(name)] = value
+        total = Y.sum(axis=0)
+        if np.any(np.abs(total - 1.0) > 1e-8):
+            raise ValueError(f"mass fractions must sum to 1 (sum={total})")
+        return Y
+
+    def element_mass_fractions(self, Y):
+        """Elemental mass fractions Z_e, shape (Ne,)+S."""
+        w, Y = self._wshape(Y)
+        moles = Y / w  # per-species mol/kg
+        el_w = np.array([element_weight(el) for el in self.elements])
+        z = np.tensordot(self.element_matrix, moles, axes=(1, 0))
+        return z * el_w.reshape((-1,) + (1,) * (Y.ndim - 1))
+
+    # ------------------------------------------------------------------
+    # equation of state
+    # ------------------------------------------------------------------
+    def density(self, p, T, Y):
+        """Ideal-gas density rho = p W / (Ru T) (eq. 7)."""
+        return np.asarray(p, dtype=float) * self.mean_weight(Y) / (RU * np.asarray(T, dtype=float))
+
+    def pressure(self, rho, T, Y):
+        """Ideal-gas pressure p = rho Ru T / W (eq. 7)."""
+        return np.asarray(rho, dtype=float) * RU * np.asarray(T, dtype=float) / self.mean_weight(Y)
+
+    def gas_constant(self, Y):
+        """Specific gas constant R = Ru / W [J/(kg K)]."""
+        return RU / self.mean_weight(Y)
+
+    # ------------------------------------------------------------------
+    # caloric properties (mass basis)
+    # ------------------------------------------------------------------
+    def cp_mass(self, T, Y):
+        """Mixture isobaric heat capacity [J/(kg K)]."""
+        w, Y = self._wshape(Y)
+        cp = self.thermo.cp_molar(T) / w
+        return (cp * Y).sum(axis=0)
+
+    def cv_mass(self, T, Y):
+        """Mixture isochoric heat capacity [J/(kg K)]: cp - Ru/W."""
+        return self.cp_mass(T, Y) - self.gas_constant(Y)
+
+    def enthalpy_mass(self, T, Y):
+        """Mixture specific enthalpy [J/kg] (sensible + chemical)."""
+        w, Y = self._wshape(Y)
+        h = self.thermo.enthalpy_molar(T) / w
+        return (h * Y).sum(axis=0)
+
+    def species_enthalpy_mass(self, T):
+        """Per-species specific enthalpies h_i [J/kg], shape (Ns,)+S."""
+        T = np.asarray(T, dtype=float)
+        w = self.weights.reshape((-1,) + (1,) * T.ndim)
+        return self.thermo.enthalpy_molar(T) / w
+
+    def int_energy_mass(self, T, Y):
+        """Mixture specific internal energy [J/kg]: h - Ru T / W."""
+        return self.enthalpy_mass(T, Y) - self.gas_constant(Y) * np.asarray(T, dtype=float)
+
+    def temperature_from_energy(self, e, Y, T_guess=None, tol=1e-9, max_iter=100):
+        """Invert e(T, Y) = e for T by Newton iteration.
+
+        This is the inner solve of the DNS primitive-variable recovery; it
+        converges in a handful of iterations from the previous step's
+        temperature.
+        """
+        e = np.asarray(e, dtype=float)
+        T = np.full(e.shape, 1000.0) if T_guess is None else np.array(T_guess, dtype=float, copy=True)
+        T = np.broadcast_to(T, e.shape).copy() if T.shape != e.shape else T
+        for _ in range(max_iter):
+            resid = self.int_energy_mass(T, Y) - e
+            cv = self.cv_mass(T, Y)
+            dT = resid / cv
+            T -= dT
+            np.clip(T, 50.0, 6000.0, out=T)
+            if np.all(np.abs(dT) < tol * np.maximum(T, 1.0)):
+                break
+        else:
+            raise RuntimeError("temperature_from_energy failed to converge")
+        return T
+
+    def temperature_from_enthalpy(self, h, Y, T_guess=None, tol=1e-9, max_iter=100):
+        """Invert h(T, Y) = h for T by Newton iteration."""
+        h = np.asarray(h, dtype=float)
+        T = np.full(h.shape, 1000.0) if T_guess is None else np.array(T_guess, dtype=float, copy=True)
+        T = np.broadcast_to(T, h.shape).copy() if T.shape != h.shape else T
+        for _ in range(max_iter):
+            resid = self.enthalpy_mass(T, Y) - h
+            cp = self.cp_mass(T, Y)
+            dT = resid / cp
+            T -= dT
+            np.clip(T, 50.0, 6000.0, out=T)
+            if np.all(np.abs(dT) < tol * np.maximum(T, 1.0)):
+                break
+        else:
+            raise RuntimeError("temperature_from_enthalpy failed to converge")
+        return T
+
+    def sound_speed(self, T, Y):
+        """Frozen sound speed a = sqrt(gamma R T) [m/s]."""
+        r = self.gas_constant(Y)
+        gamma = self.cp_mass(T, Y) / self.cv_mass(T, Y)
+        return np.sqrt(gamma * r * np.asarray(T, dtype=float))
+
+    # ------------------------------------------------------------------
+    # chemical source terms
+    # ------------------------------------------------------------------
+    def production_rates(self, rho, T, Y):
+        """Mass production rates W_i ω̇_i [kg/(m^3 s)], shape (Ns,)+S.
+
+        Returns zeros for inert mechanisms (no reactions).
+        """
+        Y = np.asarray(Y, dtype=float)
+        if self.kinetics is None:
+            return np.zeros_like(Y)
+        C = self.concentrations(rho, Y)
+        wdot = self.kinetics.production_rates(np.asarray(T, dtype=float), C)
+        w = self.weights.reshape((-1,) + (1,) * (Y.ndim - 1))
+        return wdot * w
+
+    def heat_release_rate(self, rho, T, Y):
+        """Volumetric heat release [W/m^3]."""
+        if self.kinetics is None:
+            T = np.asarray(T, dtype=float)
+            return np.zeros(T.shape)
+        C = self.concentrations(rho, Y)
+        return self.kinetics.heat_release_rate(np.asarray(T, dtype=float), C)

@@ -1,0 +1,33 @@
+"""Built-in mechanisms.
+
+* :func:`h2_li2004` — the detailed H2/O2 mechanism of Li, Zhao, Kazakov &
+  Dryer (2004): 9 species + N2, 19 reactions (2 with duplicates), the
+  chemistry class used for the lifted hydrogen jet flame of §6 of the
+  paper (13 transported species + N2 ~ "14 variables").
+* :func:`ch4_onestep` — Westbrook–Dryer single-step methane oxidation.
+* :func:`ch4_twostep` — BFER-style 2-step CH4/CO/CO2 chemistry used for
+  the scaled Bunsen configuration of §7.
+* :func:`ch4_jl4` — Jones–Lindstedt 4-step methane chemistry.
+* :func:`air` — inert O2/N2 mixture for non-reacting verification runs.
+* :func:`inert` — arbitrary inert species subset.
+"""
+
+from repro.chemistry.mechanisms.builders import (
+    air,
+    ch4_jl4,
+    ch4_onestep,
+    ch4_twostep,
+    h2_li2004,
+    inert,
+    make_species,
+)
+
+__all__ = [
+    "air",
+    "ch4_jl4",
+    "ch4_onestep",
+    "ch4_twostep",
+    "h2_li2004",
+    "inert",
+    "make_species",
+]

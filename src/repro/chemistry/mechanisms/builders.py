@@ -1,0 +1,223 @@
+"""Factory functions building the built-in :class:`Mechanism` objects.
+
+Rate data are written in the literature's CGS/cal convention
+(cm^3, mol, s, cal/mol) and converted to SI here, mirroring what the
+CHEMKIN interpreter does for S3D.
+"""
+
+from __future__ import annotations
+
+from repro.chemistry.kinetics import Arrhenius, Falloff, Reaction, ThirdBody
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.species import Species
+from repro.chemistry.mechanisms.thermo_data import nasa7
+from repro.chemistry.mechanisms.transport_data import transport
+from repro.util.constants import CAL_TO_J
+
+#: Elemental compositions of the built-in species.
+_COMPOSITION = {
+    "H2": {"H": 2},
+    "H": {"H": 1},
+    "O": {"O": 1},
+    "O2": {"O": 2},
+    "OH": {"O": 1, "H": 1},
+    "H2O": {"H": 2, "O": 1},
+    "HO2": {"H": 1, "O": 2},
+    "H2O2": {"H": 2, "O": 2},
+    "N2": {"N": 2},
+    "AR": {"AR": 1},
+    "CH4": {"C": 1, "H": 4},
+    "CO": {"C": 1, "O": 1},
+    "CO2": {"C": 1, "O": 2},
+    "CH3": {"C": 1, "H": 3},
+    "CH2O": {"C": 1, "H": 2, "O": 1},
+    "HCO": {"C": 1, "H": 1, "O": 1},
+}
+
+
+def make_species(name: str) -> Species:
+    """Build a :class:`Species` with built-in thermo and transport data."""
+    key = name.upper()
+    return Species(
+        name=key,
+        composition=_COMPOSITION[key],
+        thermo=nasa7(key),
+        transport=transport(key),
+    )
+
+
+def _arr(a_cgs: float, n: float, ea_cal: float, order: float) -> Arrhenius:
+    """Convert CGS/cal Arrhenius parameters to SI.
+
+    ``order`` is the forward molecularity (including any third body for
+    low-pressure limits): A picks up a factor of (1e-6 m^3/cm^3)^(order-1).
+    """
+    return Arrhenius(A=a_cgs * (1e-6) ** (order - 1.0), n=n, Ea=ea_cal * CAL_TO_J)
+
+
+def h2_li2004() -> Mechanism:
+    """Detailed H2/O2 kinetics of Li et al. (Int. J. Chem. Kinet. 2004).
+
+    Nine reactive species (H2, O2, H2O, H, O, OH, HO2, H2O2) plus inert N2;
+    19 reaction channels with third-body and Troe-falloff pressure
+    dependence. Crossover behaviour (chain branching vs HO2 formation) is
+    what makes the 1100 K coflow of §6 autoignitive.
+    """
+    names = ["H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2", "N2"]
+    species = [make_species(n) for n in names]
+    eff_a = (("H2", 2.5), ("H2O", 12.0))
+    rxns = [
+        # --- chain reactions -------------------------------------------
+        Reaction((("H", 1), ("O2", 1)), (("O", 1), ("OH", 1)),
+                 _arr(3.547e15, -0.406, 16599.0, 2)),
+        Reaction((("O", 1), ("H2", 1)), (("H", 1), ("OH", 1)),
+                 _arr(0.508e5, 2.67, 6290.0, 2)),
+        Reaction((("H2", 1), ("OH", 1)), (("H2O", 1), ("H", 1)),
+                 _arr(0.216e9, 1.51, 3430.0, 2)),
+        Reaction((("O", 1), ("H2O", 1)), (("OH", 1), ("OH", 1)),
+                 _arr(2.97e6, 2.02, 13400.0, 2)),
+        # --- dissociation / recombination (+M) -------------------------
+        Reaction((("H2", 1),), (("H", 1), ("H", 1)),
+                 _arr(4.577e19, -1.40, 104380.0, 2),
+                 third_body=ThirdBody(eff_a)),
+        Reaction((("O", 1), ("O", 1)), (("O2", 1),),
+                 _arr(6.165e15, -0.50, 0.0, 3),
+                 third_body=ThirdBody(eff_a)),
+        Reaction((("O", 1), ("H", 1)), (("OH", 1),),
+                 _arr(4.714e18, -1.0, 0.0, 3),
+                 third_body=ThirdBody(eff_a)),
+        Reaction((("H", 1), ("OH", 1)), (("H2O", 1),),
+                 _arr(3.800e22, -2.0, 0.0, 3),
+                 third_body=ThirdBody(eff_a)),
+        # --- HO2 formation (falloff) and consumption --------------------
+        Reaction((("H", 1), ("O2", 1)), (("HO2", 1),),
+                 _arr(1.475e12, 0.60, 0.0, 2),
+                 third_body=ThirdBody((("H2", 2.0), ("H2O", 11.0), ("O2", 0.78))),
+                 falloff=Falloff(low=_arr(6.366e20, -1.72, 524.8, 3), fcent=0.8)),
+        Reaction((("HO2", 1), ("H", 1)), (("H2", 1), ("O2", 1)),
+                 _arr(1.66e13, 0.0, 823.0, 2)),
+        Reaction((("HO2", 1), ("H", 1)), (("OH", 1), ("OH", 1)),
+                 _arr(7.079e13, 0.0, 295.0, 2)),
+        Reaction((("HO2", 1), ("O", 1)), (("O2", 1), ("OH", 1)),
+                 _arr(0.325e14, 0.0, 0.0, 2)),
+        Reaction((("HO2", 1), ("OH", 1)), (("H2O", 1), ("O2", 1)),
+                 _arr(2.890e13, 0.0, -497.0, 2)),
+        # --- H2O2 channels ----------------------------------------------
+        Reaction((("HO2", 1), ("HO2", 1)), (("H2O2", 1), ("O2", 1)),
+                 _arr(4.200e14, 0.0, 11982.0, 2), duplicate=True),
+        Reaction((("HO2", 1), ("HO2", 1)), (("H2O2", 1), ("O2", 1)),
+                 _arr(1.300e11, 0.0, -1629.3, 2), duplicate=True),
+        Reaction((("H2O2", 1),), (("OH", 1), ("OH", 1)),
+                 _arr(2.951e14, 0.0, 48430.0, 1),
+                 third_body=ThirdBody(eff_a),
+                 falloff=Falloff(low=_arr(1.202e17, 0.0, 45500.0, 2), fcent=0.5)),
+        Reaction((("H2O2", 1), ("H", 1)), (("H2O", 1), ("OH", 1)),
+                 _arr(0.241e14, 0.0, 3970.0, 2)),
+        Reaction((("H2O2", 1), ("H", 1)), (("HO2", 1), ("H2", 1)),
+                 _arr(0.482e14, 0.0, 7950.0, 2)),
+        Reaction((("H2O2", 1), ("O", 1)), (("OH", 1), ("HO2", 1)),
+                 _arr(9.550e6, 2.0, 3970.0, 2)),
+        Reaction((("H2O2", 1), ("OH", 1)), (("HO2", 1), ("H2O", 1)),
+                 _arr(1.000e12, 0.0, 0.0, 2), duplicate=True),
+        Reaction((("H2O2", 1), ("OH", 1)), (("HO2", 1), ("H2O", 1)),
+                 _arr(5.800e14, 0.0, 9557.0, 2), duplicate=True),
+    ]
+    return Mechanism(species, rxns, name="h2-li2004")
+
+
+def ch4_onestep() -> Mechanism:
+    """Westbrook–Dryer single-step methane oxidation.
+
+    ``CH4 + 2 O2 -> CO2 + 2 H2O`` with empirical orders
+    [CH4]^0.2 [O2]^1.3; a cheap flame-speed-calibrated chemistry for the
+    premixed parametric sweeps of §7 where only the heat-release structure
+    matters.
+    """
+    names = ["CH4", "O2", "CO2", "H2O", "N2"]
+    species = [make_species(n) for n in names]
+    rxns = [
+        Reaction(
+            (("CH4", 1), ("O2", 2)),
+            (("CO2", 1), ("H2O", 2)),
+            # pre-exponential calibrated to give SL ~ 0.4 m/s at
+            # stoichiometric ambient conditions (Westbrook-Dryer-class
+            # single-step behaviour with positive orders for DNS
+            # robustness)
+            _arr(1.6e13, 0.0, 48400.0, 1.5),
+            reversible=False,
+            orders=(("CH4", 0.2), ("O2", 1.3)),
+        )
+    ]
+    return Mechanism(species, rxns, name="ch4-onestep")
+
+
+def ch4_twostep() -> Mechanism:
+    """BFER-style two-step methane chemistry (CH4 -> CO -> CO2).
+
+    Step 1 is irreversible fuel breakdown, step 2 reversible CO oxidation,
+    giving equilibrium CO in hot products — the feature that matters for
+    Bunsen product coflows.
+    """
+    names = ["CH4", "O2", "CO", "CO2", "H2O", "N2"]
+    species = [make_species(n) for n in names]
+    rxns = [
+        Reaction(
+            (("CH4", 1), ("O2", 1.5)),
+            (("CO", 1), ("H2O", 2)),
+            _arr(4.9e9, 0.0, 35500.0, 1.15),
+            reversible=False,
+            orders=(("CH4", 0.50), ("O2", 0.65)),
+        ),
+        Reaction(
+            (("CO", 1), ("O2", 0.5)),
+            (("CO2", 1),),
+            _arr(2.0e8, 0.7, 12000.0, 1.5),
+            reversible=True,
+        ),
+    ]
+    return Mechanism(species, rxns, name="ch4-bfer2")
+
+
+def ch4_jl4() -> Mechanism:
+    """Jones–Lindstedt 4-step methane chemistry with H2/CO intermediates."""
+    names = ["CH4", "O2", "CO", "CO2", "H2", "H2O", "N2"]
+    species = [make_species(n) for n in names]
+    rxns = [
+        Reaction(
+            (("CH4", 1), ("O2", 0.5)),
+            (("CO", 1), ("H2", 2)),
+            _arr(7.82e13, 0.0, 30000.0, 1.75),
+            reversible=False,
+            orders=(("CH4", 0.5), ("O2", 1.25)),
+        ),
+        Reaction(
+            (("CH4", 1), ("H2O", 1)),
+            (("CO", 1), ("H2", 3)),
+            _arr(0.30e12, 0.0, 30000.0, 2),
+            reversible=False,
+        ),
+        Reaction(
+            (("H2", 1), ("O2", 0.5)),
+            (("H2O", 1),),
+            _arr(1.21e18, -1.0, 40000.0, 1.75),
+            reversible=True,
+            orders=(("H2", 0.25), ("O2", 1.5)),
+        ),
+        Reaction(
+            (("CO", 1), ("H2O", 1)),
+            (("CO2", 1), ("H2", 1)),
+            _arr(2.75e12, 0.0, 20000.0, 2),
+            reversible=True,
+        ),
+    ]
+    return Mechanism(species, rxns, name="ch4-jl4")
+
+
+def air() -> Mechanism:
+    """Inert O2/N2 air for non-reacting verification problems."""
+    return Mechanism([make_species("O2"), make_species("N2")], (), name="air")
+
+
+def inert(names) -> Mechanism:
+    """An inert mechanism over an arbitrary subset of built-in species."""
+    return Mechanism([make_species(n) for n in names], (), name="inert")

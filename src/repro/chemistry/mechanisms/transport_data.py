@@ -1,0 +1,40 @@
+"""Lennard-Jones transport parameters (TRANSPORT-library database).
+
+``(geometry, eps/k [K], sigma [Angstrom], dipole [Debye],
+polarizability [A^3], z_rot)`` per species, from the standard Sandia
+TRANSPORT database shipped with CHEMKIN.
+"""
+
+from repro.chemistry.species import TransportData
+
+_RAW = {
+    "H2": (1, 38.000, 2.920, 0.0, 0.790, 280.0),
+    "H": (0, 145.000, 2.050, 0.0, 0.0, 0.0),
+    "O": (0, 80.000, 2.750, 0.0, 0.0, 0.0),
+    "O2": (1, 107.400, 3.458, 0.0, 1.600, 3.8),
+    "OH": (1, 80.000, 2.750, 0.0, 0.0, 0.0),
+    "H2O": (2, 572.400, 2.605, 1.844, 0.0, 4.0),
+    "HO2": (2, 107.400, 3.458, 0.0, 0.0, 1.0),
+    "H2O2": (2, 107.400, 3.458, 0.0, 0.0, 3.8),
+    "N2": (1, 97.530, 3.621, 0.0, 1.760, 4.0),
+    "AR": (0, 136.500, 3.330, 0.0, 0.0, 0.0),
+    "CH4": (2, 141.400, 3.746, 0.0, 2.600, 13.0),
+    "CO": (1, 98.100, 3.650, 0.0, 1.950, 1.8),
+    "CO2": (1, 244.000, 3.763, 0.0, 2.650, 2.1),
+    "CH3": (1, 144.000, 3.800, 0.0, 0.0, 0.0),
+    "CH2O": (2, 498.000, 3.590, 0.0, 0.0, 2.0),
+    "HCO": (2, 498.000, 3.590, 0.0, 0.0, 0.0),
+}
+
+
+def transport(name: str) -> TransportData:
+    """Return the transport parameters for species ``name``."""
+    geom, eps, sigma, dipole, polar, zrot = _RAW[name.upper()]
+    return TransportData(
+        geometry=geom,
+        eps_over_k=eps,
+        sigma=sigma,
+        dipole=dipole,
+        polarizability=polar,
+        z_rot=zrot,
+    )

@@ -1,0 +1,208 @@
+"""Parser for a CHEMKIN-style mechanism text format.
+
+S3D consumed CHEMKIN-II input decks; this module parses the same surface
+syntax (the subset the built-in mechanisms need) so users can supply their
+own mechanisms as text::
+
+    ELEMENTS
+    H O N
+    END
+    SPECIES
+    H2 O2 H2O H O OH HO2 H2O2 N2
+    END
+    REACTIONS CAL/MOLE
+    H+O2<=>O+OH            3.547E+15  -0.406  16599.
+    H2+M<=>H+H+M           4.577E+19  -1.40  104380.
+        H2/2.5/ H2O/12.0/
+    H+O2(+M)<=>HO2(+M)     1.475E+12   0.60      0.
+        LOW /6.366E+20 -1.72 524.8/
+        TROE /0.8 1e-30 1e30/
+    HO2+HO2<=>H2O2+O2      4.200E+14   0.00  11982.
+        DUPLICATE
+    END
+
+Rates are CGS/cal (CHEMKIN's default) and converted to SI. Species thermo
+and transport data are taken from the built-in database
+(:mod:`repro.chemistry.mechanisms`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.chemistry.kinetics import Arrhenius, Falloff, Reaction, ThirdBody
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.mechanisms.builders import make_species
+from repro.util.constants import CAL_TO_J
+
+_EFF_RE = re.compile(r"([A-Za-z][A-Za-z0-9*()-]*)\s*/\s*([0-9.eE+-]+)\s*/")
+_AUX_KEYS = ("LOW", "TROE", "DUPLICATE", "FORD")
+
+
+class MechanismParseError(ValueError):
+    """Raised on malformed mechanism text."""
+
+
+def _strip_comment(line: str) -> str:
+    return line.split("!", 1)[0].rstrip()
+
+
+def _parse_side(text: str):
+    """Parse one side of a reaction into (terms, has_m, falloff_m)."""
+    text = text.strip()
+    falloff_m = "(+M)" in text.replace(" ", "").upper()
+    if falloff_m:
+        text = re.sub(r"\(\s*\+\s*M\s*\)", "", text, flags=re.I)
+    terms = []
+    has_m = False
+    for raw in text.split("+"):
+        tok = raw.strip()
+        if not tok:
+            continue
+        if tok.upper() == "M":
+            has_m = True
+            continue
+        m = re.match(r"^([0-9.]*)\s*(.+)$", tok)
+        coeff = float(m.group(1)) if m.group(1) else 1.0
+        name = m.group(2).strip().upper()
+        terms.append((name, coeff))
+    if not terms:
+        raise MechanismParseError(f"empty reaction side in {text!r}")
+    return tuple(terms), has_m, falloff_m
+
+
+def _parse_reaction_line(line: str):
+    """Split 'equation  A n Ea' and parse the equation."""
+    parts = line.split()
+    if len(parts) < 4:
+        raise MechanismParseError(f"reaction line needs equation + 3 numbers: {line!r}")
+    a, n, ea = (float(x) for x in parts[-3:])
+    equation = " ".join(parts[:-3])
+    reversible = True
+    if "<=>" in equation:
+        lhs, rhs = equation.split("<=>")
+    elif "=>" in equation:
+        lhs, rhs = equation.split("=>")
+        reversible = False
+    elif "=" in equation:
+        lhs, rhs = equation.split("=", 1)
+    else:
+        raise MechanismParseError(f"no arrow in reaction {equation!r}")
+    reactants, m_l, fo_l = _parse_side(lhs)
+    products, m_r, fo_r = _parse_side(rhs)
+    if (m_l != m_r) or (fo_l != fo_r):
+        raise MechanismParseError(f"unbalanced third body in {equation!r}")
+    return {
+        "reactants": reactants,
+        "products": products,
+        "reversible": reversible,
+        "a": a,
+        "n": n,
+        "ea": ea,
+        "third_body": m_l or fo_l,
+        "falloff": fo_l,
+    }
+
+
+def _finish(entry, species_set) -> Reaction:
+    """Assemble a Reaction with SI unit conversion from a parsed entry."""
+    for name, _ in entry["reactants"] + entry["products"]:
+        if name not in species_set:
+            raise MechanismParseError(f"reaction uses undeclared species {name!r}")
+    order = sum(nu for _, nu in (entry.get("ford") or entry["reactants"]))
+    if entry["third_body"] and not entry["falloff"]:
+        order += 1.0
+    rate = Arrhenius(
+        A=entry["a"] * (1e-6) ** (order - 1.0),
+        n=entry["n"],
+        Ea=entry["ea"] * CAL_TO_J,
+    )
+    third_body = None
+    if entry["third_body"]:
+        third_body = ThirdBody(tuple(entry.get("eff", {}).items()))
+    falloff = None
+    if entry["falloff"]:
+        if "low" not in entry:
+            raise MechanismParseError(
+                f"falloff reaction missing LOW line: {entry['reactants']}"
+            )
+        a0, n0, ea0 = entry["low"]
+        low = Arrhenius(A=a0 * (1e-6) ** order, n=n0, Ea=ea0 * CAL_TO_J)
+        troe = entry.get("troe")
+        falloff = Falloff(low=low, troe=tuple(troe) if troe else None)
+    return Reaction(
+        reactants=entry["reactants"],
+        products=entry["products"],
+        rate=rate,
+        reversible=entry["reversible"],
+        third_body=third_body,
+        falloff=falloff,
+        duplicate=entry.get("duplicate", False),
+        orders=tuple(entry["ford"]) if entry.get("ford") else (),
+    )
+
+
+def parse_mechanism(text: str, name: str = "parsed") -> Mechanism:
+    """Parse CHEMKIN-style mechanism ``text`` into a :class:`Mechanism`."""
+    lines = [_strip_comment(l) for l in text.splitlines()]
+    lines = [l for l in lines if l.strip()]
+    section = None
+    species_names: list[str] = []
+    entries: list[dict] = []
+    for line in lines:
+        upper = line.strip().upper()
+        first = upper.split()[0]
+        if first in ("ELEMENTS", "ELEM"):
+            section = "elements"
+            continue
+        if first in ("SPECIES", "SPEC"):
+            section = "species"
+            continue
+        if first in ("REACTIONS", "REAC"):
+            section = "reactions"
+            continue
+        if first == "END":
+            section = None
+            continue
+        if section == "species":
+            species_names.extend(tok.upper() for tok in line.split())
+        elif section == "reactions":
+            _parse_reactions_line(line, entries)
+    if not species_names:
+        raise MechanismParseError("no SPECIES section found")
+    species = [make_species(n) for n in species_names]
+    species_set = set(species_names)
+    reactions = [_finish(e, species_set) for e in entries]
+    return Mechanism(species, reactions, name=name)
+
+
+def _parse_reactions_line(line: str, entries: list) -> None:
+    """Dispatch one line inside the REACTIONS block."""
+    upper = line.strip().upper()
+    if upper.startswith("DUPLICATE") or upper.startswith("DUP"):
+        if not entries:
+            raise MechanismParseError("DUPLICATE before any reaction")
+        entries[-1]["duplicate"] = True
+        return
+    if upper.startswith("LOW"):
+        nums = re.findall(r"[-+0-9.eE]+", line.split("/", 1)[1])
+        entries[-1]["low"] = tuple(float(x) for x in nums[:3])
+        return
+    if upper.startswith("TROE"):
+        nums = re.findall(r"[-+0-9.eE]+", line.split("/", 1)[1])
+        entries[-1]["troe"] = tuple(float(x) for x in nums)
+        return
+    if upper.startswith("FORD"):
+        body = line.split("/", 1)[1].rsplit("/", 1)[0].split()
+        entries[-1].setdefault("ford", []).append((body[0].upper(), float(body[1])))
+        return
+    if "=" not in line:
+        # third-body efficiencies line: SP/val/ SP/val/ ...
+        effs = {m.group(1).upper(): float(m.group(2)) for m in _EFF_RE.finditer(line)}
+        if not effs:
+            raise MechanismParseError(f"unrecognized reactions line {line!r}")
+        if not entries:
+            raise MechanismParseError("efficiencies before any reaction")
+        entries[-1].setdefault("eff", {}).update(effs)
+        return
+    entries.append(_parse_reaction_line(line))

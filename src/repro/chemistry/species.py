@@ -1,0 +1,73 @@
+"""Species data: elemental composition, molecular weight, transport params."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chemistry.thermo import Nasa7
+
+#: Standard atomic weights [kg/mol] for the elements used by the built-in
+#: mechanisms.
+_ELEMENT_WEIGHTS = {
+    "H": 1.00794e-3,
+    "O": 15.9994e-3,
+    "N": 14.0067e-3,
+    "C": 12.0107e-3,
+    "AR": 39.948e-3,
+    "HE": 4.002602e-3,
+}
+
+
+def element_weight(symbol: str) -> float:
+    """Atomic weight of ``symbol`` [kg/mol]."""
+    try:
+        return _ELEMENT_WEIGHTS[symbol.upper()]
+    except KeyError:
+        raise ValueError(f"unknown element {symbol!r}") from None
+
+
+@dataclass
+class TransportData:
+    """Lennard-Jones transport parameters in TRANSPORT-library convention.
+
+    Attributes
+    ----------
+    geometry:
+        0 = atom, 1 = linear molecule, 2 = nonlinear molecule.
+    eps_over_k:
+        Lennard-Jones well depth over Boltzmann constant [K].
+    sigma:
+        Lennard-Jones collision diameter [Angstrom].
+    dipole:
+        Dipole moment [Debye].
+    polarizability:
+        Polarizability [Angstrom^3].
+    z_rot:
+        Rotational relaxation collision number at 298 K.
+    """
+
+    geometry: int
+    eps_over_k: float
+    sigma: float
+    dipole: float = 0.0
+    polarizability: float = 0.0
+    z_rot: float = 0.0
+
+
+@dataclass
+class Species:
+    """A chemical species with thermodynamic and transport data."""
+
+    name: str
+    composition: dict = field(default_factory=dict)
+    thermo: Nasa7 | None = None
+    transport: TransportData | None = None
+
+    @property
+    def weight(self) -> float:
+        """Molecular weight [kg/mol] from the elemental composition."""
+        return sum(element_weight(el) * n for el, n in self.composition.items())
+
+    def n_atoms(self, element: str) -> float:
+        """Number of atoms of ``element`` in one molecule of this species."""
+        return float(self.composition.get(element.upper(), 0.0))

@@ -1,0 +1,164 @@
+"""NASA 7-coefficient polynomial thermodynamics.
+
+Implements the standard CHEMKIN thermodynamic fits used by S3D (§2.1 of the
+paper): for each species and each of two temperature ranges,
+
+.. math::
+
+    c_p / R_u &= a_1 + a_2 T + a_3 T^2 + a_4 T^3 + a_5 T^4 \\
+    h / (R_u T) &= a_1 + a_2 T/2 + a_3 T^2/3 + a_4 T^3/4 + a_5 T^4/5 + a_6/T \\
+    s / R_u &= a_1 \\ln T + a_2 T + a_3 T^2/2 + a_4 T^3/3 + a_5 T^4/4 + a_7
+
+:class:`Nasa7` holds one species' fit; :class:`ThermoTable` evaluates an
+entire mechanism's thermodynamics vectorized over arbitrary-shaped
+temperature arrays, as required by the DNS right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import RU
+
+
+@dataclass(frozen=True)
+class Nasa7:
+    """NASA-7 polynomial for one species over two temperature ranges.
+
+    Parameters
+    ----------
+    t_low, t_mid, t_high:
+        Validity bounds [K]; ``coeffs_low`` applies on ``[t_low, t_mid]``
+        and ``coeffs_high`` on ``[t_mid, t_high]``.
+    coeffs_low, coeffs_high:
+        Sequences of 7 coefficients (a1..a7).
+    """
+
+    t_low: float
+    t_mid: float
+    t_high: float
+    coeffs_low: tuple
+    coeffs_high: tuple
+
+    def __post_init__(self):
+        if len(self.coeffs_low) != 7 or len(self.coeffs_high) != 7:
+            raise ValueError("NASA-7 fits require exactly 7 coefficients per range")
+        if not (self.t_low < self.t_mid < self.t_high):
+            raise ValueError(
+                f"temperature ranges must be ordered: {self.t_low}, {self.t_mid}, {self.t_high}"
+            )
+
+    def _coeffs(self, T):
+        T = np.asarray(T, dtype=float)
+        lo = np.asarray(self.coeffs_low)
+        hi = np.asarray(self.coeffs_high)
+        mask = (T < self.t_mid)[..., None]
+        return np.where(mask, lo, hi)
+
+    def cp_molar(self, T):
+        """Isobaric heat capacity [J/(mol K)] at temperature(s) ``T``."""
+        T = np.asarray(T, dtype=float)
+        a = self._coeffs(T)
+        return RU * (
+            a[..., 0]
+            + a[..., 1] * T
+            + a[..., 2] * T**2
+            + a[..., 3] * T**3
+            + a[..., 4] * T**4
+        )
+
+    def enthalpy_molar(self, T):
+        """Molar enthalpy [J/mol] (sensible + formation) at ``T``."""
+        T = np.asarray(T, dtype=float)
+        a = self._coeffs(T)
+        return (
+            RU
+            * T
+            * (
+                a[..., 0]
+                + a[..., 1] * T / 2
+                + a[..., 2] * T**2 / 3
+                + a[..., 3] * T**3 / 4
+                + a[..., 4] * T**4 / 5
+                + a[..., 5] / T
+            )
+        )
+
+    def entropy_molar(self, T):
+        """Standard-state molar entropy [J/(mol K)] at ``T``."""
+        T = np.asarray(T, dtype=float)
+        a = self._coeffs(T)
+        return RU * (
+            a[..., 0] * np.log(T)
+            + a[..., 1] * T
+            + a[..., 2] * T**2 / 2
+            + a[..., 3] * T**3 / 3
+            + a[..., 4] * T**4 / 4
+            + a[..., 6]
+        )
+
+    def gibbs_over_rt(self, T):
+        """Dimensionless standard Gibbs energy g/(Ru T) at ``T``."""
+        T = np.asarray(T, dtype=float)
+        return self.enthalpy_molar(T) / (RU * T) - self.entropy_molar(T) / RU
+
+
+class ThermoTable:
+    """Vectorized thermodynamics for a list of species.
+
+    Coefficients are packed into ``(Ns, 7)`` arrays so that per-grid-point
+    evaluations reduce to a handful of fused NumPy expressions — the Python
+    analogue of the memory-bandwidth-conscious kernels of §4.1.
+
+    Evaluation methods accept ``T`` of any shape ``S`` and return arrays of
+    shape ``(Ns,) + S``.
+    """
+
+    def __init__(self, fits: list[Nasa7]):
+        if not fits:
+            raise ValueError("ThermoTable requires at least one species")
+        self.fits = list(fits)
+        self.n_species = len(fits)
+        self._lo = np.array([f.coeffs_low for f in fits])  # (Ns, 7)
+        self._hi = np.array([f.coeffs_high for f in fits])
+        self._tmid = np.array([f.t_mid for f in fits])
+        self.t_low = min(f.t_low for f in fits)
+        self.t_high = max(f.t_high for f in fits)
+
+    def _select(self, T):
+        """Per-species coefficient arrays of shape (Ns, 7) + S."""
+        T = np.asarray(T, dtype=float)
+        # mask shape (Ns,) + S
+        mask = T[None, ...] < self._tmid.reshape((-1,) + (1,) * T.ndim)
+        lo = self._lo.reshape((self.n_species, 7) + (1,) * T.ndim)
+        hi = self._hi.reshape((self.n_species, 7) + (1,) * T.ndim)
+        return np.where(mask[:, None, ...], lo, hi), T
+
+    def cp_molar(self, T):
+        """Species isobaric heat capacities [J/(mol K)], shape (Ns,)+S."""
+        a, T = self._select(T)
+        return RU * (a[:, 0] + T * (a[:, 1] + T * (a[:, 2] + T * (a[:, 3] + T * a[:, 4]))))
+
+    def enthalpy_molar(self, T):
+        """Species molar enthalpies [J/mol], shape (Ns,)+S."""
+        a, T = self._select(T)
+        poly = a[:, 0] + T * (
+            a[:, 1] / 2 + T * (a[:, 2] / 3 + T * (a[:, 3] / 4 + T * a[:, 4] / 5))
+        )
+        return RU * (T * poly + a[:, 5])
+
+    def entropy_molar(self, T):
+        """Species standard molar entropies [J/(mol K)], shape (Ns,)+S."""
+        a, T = self._select(T)
+        return RU * (
+            a[:, 0] * np.log(T)
+            + T * (a[:, 1] + T * (a[:, 2] / 2 + T * (a[:, 3] / 3 + T * a[:, 4] / 4)))
+            + a[:, 6]
+        )
+
+    def gibbs_over_rt(self, T):
+        """Dimensionless Gibbs energies g_i/(Ru T), shape (Ns,)+S."""
+        T = np.asarray(T, dtype=float)
+        return self.enthalpy_molar(T) / (RU * T[None]) - self.entropy_molar(T) / RU

@@ -1,0 +1,42 @@
+"""Core DNS solver: the S3D reproduction (paper §2).
+
+Solves the fully compressible reacting Navier-Stokes equations (1)-(4)
+in conservative form on structured Cartesian meshes with:
+
+* 8th-order explicit central differences with one-sided boundary
+  closures (:mod:`repro.core.derivatives`),
+* a 10th-order explicit filter removing spurious high-frequency content
+  (:mod:`repro.core.filters`),
+* low-storage explicit Runge-Kutta time integration
+  (:mod:`repro.core.erk`),
+* Navier-Stokes characteristic boundary conditions
+  (:mod:`repro.core.nscbc`),
+* CHEMKIN-equivalent chemistry and TRANSPORT-equivalent molecular
+  transport via :mod:`repro.chemistry` and :mod:`repro.transport`.
+"""
+
+from repro.core.grid import Grid
+from repro.core.derivatives import DerivativeOperator, fornberg_weights
+from repro.core.filters import FilterOperator
+from repro.core.erk import ERKIntegrator, LowStorageERK, SCHEMES
+from repro.core.state import State
+from repro.core.config import BoundarySpec, SolverConfig
+from repro.core.rhs import CompressibleRHS
+from repro.core.solver import S3DSolver
+from repro.core import ic
+
+__all__ = [
+    "Grid",
+    "DerivativeOperator",
+    "fornberg_weights",
+    "FilterOperator",
+    "ERKIntegrator",
+    "LowStorageERK",
+    "SCHEMES",
+    "State",
+    "BoundarySpec",
+    "SolverConfig",
+    "CompressibleRHS",
+    "S3DSolver",
+    "ic",
+]

@@ -1,0 +1,120 @@
+"""Solver configuration: boundary specifications and run parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: boundary kinds understood by the solver
+BOUNDARY_KINDS = (
+    "periodic",
+    "nonreflecting_outflow",
+    "nonreflecting_inflow",
+    "hard_inflow",
+)
+
+
+@dataclass
+class BoundarySpec:
+    """Boundary condition for one face of the domain.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`BOUNDARY_KINDS`.
+    p_inf:
+        Far-field pressure for non-reflecting outflow [Pa].
+    sigma:
+        Pressure-relaxation coefficient of the outflow LODI treatment
+        (Poinsot-Lele; 0.25-0.6 typical).
+    velocity, temperature, mass_fractions:
+        Target fields for inflow faces. Each may be a scalar/vector
+        constant or an array matching the face plane; ``velocity`` is a
+        sequence of ndim components, ``mass_fractions`` has leading
+        species axis. ``velocity`` may also be a callable ``f(t)``
+        returning the face profile, enabling synthetic-turbulence inflow.
+    eta:
+        Relaxation coefficient for soft (nonreflecting) inflow.
+    """
+
+    kind: str
+    p_inf: float | None = None
+    sigma: float = 0.28
+    velocity: object = None
+    temperature: object = None
+    mass_fractions: object = None
+    eta: float = 0.3
+
+    def __post_init__(self):
+        if self.kind not in BOUNDARY_KINDS:
+            raise ValueError(f"unknown boundary kind {self.kind!r}; choose from {BOUNDARY_KINDS}")
+        if self.kind == "nonreflecting_outflow" and self.p_inf is None:
+            raise ValueError("nonreflecting_outflow requires p_inf")
+        if self.kind in ("hard_inflow", "nonreflecting_inflow"):
+            for attr in ("velocity", "temperature", "mass_fractions"):
+                if getattr(self, attr) is None:
+                    raise ValueError(f"{self.kind} requires {attr}")
+
+
+def periodic_boundaries(ndim: int) -> dict:
+    """All-periodic boundary map for an ndim-dimensional grid."""
+    out = {}
+    for ax in range(ndim):
+        out[(ax, 0)] = BoundarySpec("periodic")
+        out[(ax, 1)] = BoundarySpec("periodic")
+    return out
+
+
+@dataclass
+class SolverConfig:
+    """Run parameters for :class:`~repro.core.solver.S3DSolver`.
+
+    Attributes
+    ----------
+    boundaries:
+        Mapping ``(axis, side) -> BoundarySpec`` with side 0 = min face,
+        1 = max face. Periodic axes must be periodic on both sides and
+        match ``grid.periodic``.
+    cfl:
+        Acoustic CFL number for the adaptive time step.
+    dt:
+        Fixed time step [s]; overrides ``cfl`` when set.
+    filter_interval:
+        Apply the 10th-order filter every this many steps (0 disables).
+    filter_alpha:
+        Filter strength in [0, 1].
+    scheme:
+        ERK scheme name (see :data:`repro.core.erk.SCHEMES`).
+    """
+
+    boundaries: dict = field(default_factory=dict)
+    cfl: float = 0.8
+    dt: float | None = None
+    filter_interval: int = 1
+    filter_alpha: float = 0.2
+    scheme: str = "rkf45"
+
+    def validate(self, grid) -> None:
+        """Cross-check the boundary map against the grid."""
+        for ax in range(grid.ndim):
+            for side in (0, 1):
+                spec = self.boundaries.get((ax, side))
+                if spec is None:
+                    raise ValueError(f"missing boundary spec for face (axis={ax}, side={side})")
+                if grid.periodic[ax] != (spec.kind == "periodic"):
+                    raise ValueError(
+                        f"face (axis={ax}, side={side}): boundary kind {spec.kind!r} "
+                        f"inconsistent with grid.periodic[{ax}]={grid.periodic[ax]}"
+                    )
+        if self.dt is None and not (0 < self.cfl <= 2.0):
+            raise ValueError("cfl must be in (0, 2]")
+        if not 0.0 <= self.filter_alpha <= 1.0:
+            raise ValueError("filter_alpha must be in [0, 1]")
+
+
+def resolve_face_value(value, t: float):
+    """Resolve a possibly-callable boundary target to an array at time t."""
+    if callable(value):
+        return np.asarray(value(t), dtype=float)
+    return np.asarray(value, dtype=float)

@@ -1,0 +1,197 @@
+"""Explicit Runge-Kutta time integrators.
+
+S3D advances the solution with a six-stage fourth-order explicit
+Runge-Kutta method in low-storage form (§2.6, refs [8, 9]). We provide:
+
+* ``"rkf45"`` — the six-stage fourth-order Fehlberg scheme (with an
+  embedded 5th-order error estimate), the default, matching the paper's
+  "six-stage, fourth-order" description;
+* ``"ck45"`` — the Carpenter-Kennedy five-stage fourth-order 2N
+  low-storage scheme from the paper's reference [8] family, exposing the
+  2N register strategy S3D uses to keep its memory footprint down;
+* ``"rk4"`` — classical four-stage RK4 as a cross-check.
+
+Integrators operate on arbitrary ndarray state and a callable
+``rhs(t, u) -> du/dt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ButcherERK:
+    """Generic explicit Runge-Kutta from a Butcher tableau."""
+
+    def __init__(self, a, b, c, order: int, name: str, b_embedded=None, order_embedded=None):
+        self.a = [np.asarray(row, dtype=float) for row in a]
+        self.b = np.asarray(b, dtype=float)
+        self.c = np.asarray(c, dtype=float)
+        self.order = int(order)
+        self.name = name
+        self.b_embedded = None if b_embedded is None else np.asarray(b_embedded, dtype=float)
+        self.order_embedded = order_embedded
+        self.stages = len(self.b)
+
+    def step(self, rhs, t, u, dt):
+        """One step; returns the updated state array."""
+        k = []
+        for i in range(self.stages):
+            ui = u
+            if i:
+                incr = sum(self.a[i][j] * k[j] for j in range(i) if self.a[i][j] != 0.0)
+                ui = u + dt * incr
+            k.append(rhs(t + self.c[i] * dt, ui))
+        return u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
+
+    def step_with_error(self, rhs, t, u, dt):
+        """One step plus the embedded-scheme error estimate (or None)."""
+        k = []
+        for i in range(self.stages):
+            ui = u
+            if i:
+                incr = sum(self.a[i][j] * k[j] for j in range(i) if self.a[i][j] != 0.0)
+                ui = u + dt * incr
+            k.append(rhs(t + self.c[i] * dt, ui))
+        unew = u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
+        err = None
+        if self.b_embedded is not None:
+            diff = self.b_embedded - self.b
+            err = dt * sum(di * ki for di, ki in zip(diff, k) if di != 0.0)
+        return unew, err
+
+
+class LowStorageERK:
+    """2N (Williamson) low-storage explicit Runge-Kutta.
+
+    Uses only two registers regardless of stage count:
+
+        du = A_i du + dt * rhs(t + c_i dt, u);  u += B_i du
+    """
+
+    def __init__(self, a, b, c, order: int, name: str):
+        self.a = np.asarray(a, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        self.c = np.asarray(c, dtype=float)
+        self.order = int(order)
+        self.name = name
+        self.stages = len(self.b)
+
+    def step(self, rhs, t, u, dt):
+        """One step; in low-storage form (two registers)."""
+        u = np.array(u, dtype=float, copy=True)
+        du = np.zeros_like(u)
+        for i in range(self.stages):
+            du *= self.a[i]
+            du += dt * rhs(t + self.c[i] * dt, u)
+            u += self.b[i] * du
+        return u
+
+    def step_with_error(self, rhs, t, u, dt):
+        return self.step(rhs, t, u, dt), None
+
+
+def _rkf45() -> ButcherERK:
+    a = [
+        [],
+        [1 / 4],
+        [3 / 32, 9 / 32],
+        [1932 / 2197, -7200 / 2197, 7296 / 2197],
+        [439 / 216, -8.0, 3680 / 513, -845 / 4104],
+        [-8 / 27, 2.0, -3544 / 2565, 1859 / 4104, -11 / 40],
+    ]
+    # pad rows to full width
+    a = [row + [0.0] * (6 - len(row)) for row in a]
+    b4 = [25 / 216, 0.0, 1408 / 2565, 2197 / 4104, -1 / 5, 0.0]
+    b5 = [16 / 135, 0.0, 6656 / 12825, 28561 / 56430, -9 / 50, 2 / 55]
+    c = [0.0, 1 / 4, 3 / 8, 12 / 13, 1.0, 1 / 2]
+    return ButcherERK(a, b4, c, order=4, name="rkf45", b_embedded=b5, order_embedded=5)
+
+
+def _ck45() -> LowStorageERK:
+    a = [
+        0.0,
+        -567301805773.0 / 1357537059087.0,
+        -2404267990393.0 / 2016746695238.0,
+        -3550918686646.0 / 2091501179385.0,
+        -1275806237668.0 / 842570457699.0,
+    ]
+    b = [
+        1432997174477.0 / 9575080441755.0,
+        5161836677717.0 / 13612068292357.0,
+        1720146321549.0 / 2090206949498.0,
+        3134564353537.0 / 4481467310338.0,
+        2277821191437.0 / 14882151754819.0,
+    ]
+    c = [
+        0.0,
+        1432997174477.0 / 9575080441755.0,
+        2526269341429.0 / 6820363962896.0,
+        2006345519317.0 / 3224310063776.0,
+        2802321613138.0 / 2924317926251.0,
+    ]
+    return LowStorageERK(a, b, c, order=4, name="ck45")
+
+
+def _rk4() -> ButcherERK:
+    a = [
+        [0.0, 0.0, 0.0, 0.0],
+        [0.5, 0.0, 0.0, 0.0],
+        [0.0, 0.5, 0.0, 0.0],
+        [0.0, 0.0, 1.0, 0.0],
+    ]
+    b = [1 / 6, 1 / 3, 1 / 3, 1 / 6]
+    c = [0.0, 0.5, 0.5, 1.0]
+    return ButcherERK(a, b, c, order=4, name="rk4")
+
+
+#: registry of available schemes
+SCHEMES = {
+    "rkf45": _rkf45,
+    "ck45": _ck45,
+    "rk4": _rk4,
+}
+
+
+class ERKIntegrator:
+    """Time-integration driver over a named ERK scheme.
+
+    Parameters
+    ----------
+    scheme:
+        One of ``SCHEMES`` (default ``"rkf45"``).
+    """
+
+    def __init__(self, scheme: str = "rkf45"):
+        try:
+            self.scheme = SCHEMES[scheme]()
+        except KeyError:
+            raise ValueError(f"unknown ERK scheme {scheme!r}; choose from {sorted(SCHEMES)}") from None
+
+    @property
+    def name(self) -> str:
+        return self.scheme.name
+
+    @property
+    def order(self) -> int:
+        return self.scheme.order
+
+    @property
+    def stages(self) -> int:
+        return self.scheme.stages
+
+    def step(self, rhs, t, u, dt):
+        """Advance ``u`` from ``t`` to ``t + dt``."""
+        return self.scheme.step(rhs, t, u, dt)
+
+    def integrate(self, rhs, t0, u0, t1, n_steps: int):
+        """Fixed-step integration; returns the final state."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        dt = (t1 - t0) / n_steps
+        u = np.asarray(u0, dtype=float)
+        t = t0
+        for _ in range(n_steps):
+            u = self.step(rhs, t, u, dt)
+            t += dt
+        return u

@@ -1,0 +1,209 @@
+"""Navier-Stokes characteristic boundary conditions (NSCBC).
+
+Implements the subsonic non-reflecting inflow/outflow treatment the
+paper prescribes for its stationary DNS configurations (§2.6, refs
+[12, 13]): the locally one-dimensional inviscid (LODI) characteristic
+decomposition of the boundary-normal convective terms, with incoming
+wave amplitudes replaced by relaxation expressions.
+
+Characteristic wave amplitudes along axis n (Poinsot & Lele):
+
+    L1 = (u - a) (dp/dn - rho a du/dn)      left-running acoustic
+    L2 =  u      (a^2 drho/dn - dp/dn)      entropy
+    Lt =  u      (dv/dn)                    vorticity (per transverse dir)
+    Ls =  u      (dY_i/dn)                  species
+    L5 = (u + a) (dp/dn + rho a du/dn)      right-running acoustic
+
+and the LODI source terms
+
+    d1 = (L2 + (L5 + L1)/2) / a^2   -> -d(rho)/dt
+    d2 = (L5 + L1)/2                -> -dp/dt
+    d3 = (L5 - L1)/(2 rho a)        -> -du/dt
+    d4 = Lt                          -> -dv/dt
+    d5 = Ls                          -> -dY/dt
+
+The implementation uses the correction-swap strategy: the interior
+scheme's one-sided derivatives produce the *physical* amplitudes, which
+are already embedded in the assembled RHS; we subtract the physical
+normal terms and add back the modified ones, leaving viscous and
+transverse contributions untouched.
+
+``hard_inflow`` faces instead pin the primitive state (u, T, Y) exactly
+while density floats with continuity — the treatment used for the
+prescribed jet inflows of §6.2/§7.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import resolve_face_value
+from repro.util.constants import RU
+
+
+def _face_index(ndim: int, axis: int, side: int):
+    idx = [slice(None)] * ndim
+    idx[axis] = -1 if side else 0
+    return tuple(idx)
+
+
+def apply_boundary_conditions(rhs, t, u, du, *, rho, vel, T, p, Y,
+                              grad_rho, grad_p, grad_vel, grad_y):
+    """Apply all non-periodic boundary specs to the assembled RHS ``du``."""
+    st = rhs.state
+    ndim = rhs.ndim
+    for (axis, side), spec in rhs.boundaries.items():
+        if spec.kind == "periodic":
+            continue
+        face = _face_index(ndim, axis, side)
+        if spec.kind == "hard_inflow":
+            _hard_inflow(rhs, t, du, face, spec, axis)
+            continue
+        _characteristic_face(
+            rhs, t, u, du, face, spec, axis, side,
+            rho=rho, vel=vel, T=T, p=p, Y=Y,
+            grad_rho=grad_rho, grad_p=grad_p,
+            grad_vel=grad_vel, grad_y=grad_y,
+        )
+
+
+def _hard_inflow(rhs, t, du, face, spec, axis):
+    """Pin u, T, Y at the face; density evolves with continuity."""
+    st = rhs.state
+    mech = rhs.mech
+    vel_t = resolve_face_value(spec.velocity, t)
+    T_t = resolve_face_value(spec.temperature, t)
+    Y_t = resolve_face_value(spec.mass_fractions, t)
+    drho = du[st.i_rho][face]
+    e_int = mech.int_energy_mass(T_t, Y_t)
+    ke = 0.5 * sum(np.asarray(vel_t[a]) ** 2 for a in range(rhs.ndim))
+    e0_t = e_int + ke
+    for a in range(rhs.ndim):
+        du[st.i_mom(a)][face] = np.asarray(vel_t[a]) * drho
+    du[st.i_energy][face] = e0_t * drho
+    for k in range(st.n_transported):
+        du[st.i_species(k)][face] = Y_t[k] * drho
+
+
+def _characteristic_face(rhs, t, u, du, face, spec, axis, side, *,
+                         rho, vel, T, p, Y, grad_rho, grad_p, grad_vel, grad_y):
+    st = rhs.state
+    mech = rhs.mech
+    ndim = rhs.ndim
+    length = rhs.grid.lengths[axis]
+    transverse = [a for a in range(ndim) if a != axis]
+
+    rho_f = rho[face]
+    un = vel[axis][face]
+    p_f = p[face]
+    T_f = T[face]
+    Y_f = Y[(slice(None),) + face]
+    a_f = mech.sound_speed(T_f, Y_f)
+    mach2 = np.minimum((un / a_f) ** 2, 0.99)
+
+    dp_dn = grad_p[axis][face]
+    drho_dn = grad_rho[axis][face]
+    dun_dn = grad_vel[axis][axis][face]
+    dut_dn = [grad_vel[a][axis][face] for a in transverse]
+    nk = st.n_transported
+    if grad_y is not None:
+        dy_dn = [grad_y[k, axis][face] for k in range(nk)]
+    else:
+        dy_dn = [rhs.ops[axis](Y[k], axis=axis)[face] for k in range(nk)]
+
+    lam1 = un - a_f
+    lam2 = un
+    lam5 = un + a_f
+    roa = rho_f * a_f
+
+    # physical amplitudes
+    L1 = lam1 * (dp_dn - roa * dun_dn)
+    L2 = lam2 * (a_f**2 * drho_dn - dp_dn)
+    Lt = [lam2 * d for d in dut_dn]
+    Ls = [lam2 * d for d in dy_dn]
+    L5 = lam5 * (dp_dn + roa * dun_dn)
+
+    # modified amplitudes
+    M1, M2, M5 = L1.copy(), L2.copy(), L5.copy()
+    Mt = [x.copy() for x in Lt]
+    Ms = [x.copy() for x in Ls]
+    s = 1.0 if side else -1.0  # outward normal sign
+
+    if spec.kind == "nonreflecting_outflow":
+        k_relax = spec.sigma * a_f * (1.0 - mach2) / length
+        if side == 1:
+            M1 = k_relax * (p_f - spec.p_inf)
+        else:
+            M5 = k_relax * (p_f - spec.p_inf)
+        # where the flow locally re-enters, damp the convected waves too
+        entering = (un * s) < 0.0
+        M2 = np.where(entering, 0.0, M2)
+        Mt = [np.where(entering, 0.0, x) for x in Mt]
+        Ms = [np.where(entering, 0.0, x) for x in Ms]
+    elif spec.kind == "nonreflecting_inflow":
+        vel_t = resolve_face_value(spec.velocity, t)
+        T_t = resolve_face_value(spec.temperature, t)
+        Y_t = resolve_face_value(spec.mass_fractions, t)
+        eta = spec.eta
+        beta = eta * rho_f * a_f**2 * (1.0 - mach2) / length
+        if side == 0:
+            M5 = beta * (un - np.asarray(vel_t[axis]))
+        else:
+            M1 = -beta * (un - np.asarray(vel_t[axis]))
+        M2 = eta * (a_f / length) * rho_f * a_f**2 * (np.asarray(T_t) - T_f) / T_f
+        Mt = [
+            eta * (a_f / length) * (vel[a][face] - np.asarray(vel_t[a]))
+            for a in transverse
+        ]
+        Ms = [
+            eta * (a_f / length) * (Y_f[k] - np.asarray(Y_t[k]))
+            for k in range(nk)
+        ]
+    else:  # pragma: no cover - guarded by BoundarySpec validation
+        raise ValueError(f"unhandled boundary kind {spec.kind!r}")
+
+    # LODI deltas: (physical - modified) source terms
+    dd1 = ((L2 - M2) + 0.5 * ((L5 - M5) + (L1 - M1))) / a_f**2
+    dd2 = 0.5 * ((L5 - M5) + (L1 - M1))
+    dd3 = ((L5 - M5) - (L1 - M1)) / (2.0 * roa)
+    dd4 = [Lt[j] - Mt[j] for j in range(len(transverse))]
+    dd5 = [Ls[k] - Ms[k] for k in range(nk)]
+
+    # primitive corrections (added to d/dt of each primitive)
+    c_rho = dd1
+    c_p = dd2
+    c_un = dd3
+    c_ut = dd4
+    c_y = dd5
+
+    # convert to conservative corrections on the face
+    r_spec = mech.gas_constant(Y_f)
+    cv = mech.cv_mass(T_f, Y_f)
+    e_i = rhs.species_internal_energies(T_f)
+    w = mech.weights
+    n_last = mech.n_species - 1
+    d_r = RU * np.array([1.0 / w[k] - 1.0 / w[n_last] for k in range(nk)])
+
+    dR = sum(d_r[k] * c_y[k] for k in range(nk)) if nk else 0.0
+    dT = (c_p - r_spec * T_f * c_rho - rho_f * T_f * dR) / (rho_f * r_spec)
+    de_int = cv * dT + sum((e_i[k] - e_i[n_last]) * c_y[k] for k in range(nk))
+
+    vel_f = [vel[a][face] for a in range(ndim)]
+    ke = 0.5 * sum(vf * vf for vf in vel_f)
+    e_int_f = mech.int_energy_mass(T_f, Y_f)
+
+    c_vel = [None] * ndim
+    c_vel[axis] = c_un
+    for j, a in enumerate(transverse):
+        c_vel[a] = c_ut[j]
+
+    du[st.i_rho][face] += c_rho
+    for a in range(ndim):
+        du[st.i_mom(a)][face] += vel_f[a] * c_rho + rho_f * c_vel[a]
+    du[st.i_energy][face] += (
+        (e_int_f + ke) * c_rho
+        + rho_f * de_int
+        + rho_f * sum(vel_f[a] * c_vel[a] for a in range(ndim))
+    )
+    for k in range(nk):
+        du[st.i_species(k)][face] += Y_f[k] * c_rho + rho_f * c_y[k]

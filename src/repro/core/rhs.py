@@ -1,0 +1,187 @@
+"""Right-hand side of the compressible reacting Navier-Stokes equations.
+
+Assembles eqs. (1)-(4) of the paper in conservative form:
+
+    d(rho)/dt     = -div(rho u)
+    d(rho u_a)/dt = -div(rho u_a u) - grad_a p + div(tau_a.)
+    d(rho e0)/dt  = -div(u (rho e0 + p)) + div(tau . u) - div(q)
+    d(rho Y_i)/dt = -div(rho Y_i u) - div(J_i) + W_i omega_i
+
+with the stress tensor of eq. (14), mixture-averaged species diffusion
+of eq. (19) (with the mass-conserving correction velocity enforcing
+eq. 15), and the heat flux of eq. (20). Body forces, radiation, Dufour
+effect, and barodiffusion are neglected per §2.2-2.5; the Soret term is
+optional via the transport model.
+
+The flux-divergence formulation performs exactly one derivative sweep
+per (variable, direction) pair plus one sweep for the primitive
+gradients; this is S3D's structure, and the diffusive-flux assembly here
+is the kernel that §4.1 restructures (see :mod:`repro.loopopt.diffflux`
+for the naive/optimized comparison on the same computation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.derivatives import gradient_operators
+from repro.core import nscbc
+from repro.util.constants import RU
+
+
+class CompressibleRHS:
+    """Callable RHS ``f(t, u) -> du/dt`` over conserved arrays.
+
+    Parameters
+    ----------
+    state:
+        A :class:`~repro.core.state.State` used for primitive decoding
+        (supplies mechanism, grid, temperature cache).
+    transport:
+        Transport model with an ``evaluate(T, p, Y)`` method, or None for
+        inviscid (Euler) operation.
+    boundaries:
+        Mapping ``(axis, side) -> BoundarySpec``.
+    reacting:
+        Include chemical source terms.
+    """
+
+    def __init__(self, state, transport=None, boundaries=None, reacting=True):
+        self.state = state
+        self.mech = state.mech
+        self.grid = state.grid
+        self.transport = transport
+        self.boundaries = dict(boundaries or {})
+        self.reacting = bool(reacting)
+        self.ops = gradient_operators(self.grid)
+        self.ndim = self.grid.ndim
+        self._needs_nscbc = any(
+            spec.kind != "periodic" for spec in self.boundaries.values()
+        )
+        #: populated after every evaluation — kernel-level diagnostics
+        self.last_heat_release = None
+
+    # ------------------------------------------------------------------
+    def __call__(self, t, u):
+        st = self.state
+        mech = self.mech
+        ndim = self.ndim
+        rho, vel, T, p, Y, e0 = st.primitives(u)
+
+        # -- primitive gradients ---------------------------------------
+        grad_vel = [[self.ops[b](vel[a], axis=b) for b in range(ndim)] for a in range(ndim)]
+        grad_T = [self.ops[b](T, axis=b) for b in range(ndim)]
+
+        viscous = self.transport is not None
+        if viscous:
+            props = self.transport.evaluate(T, p, Y)
+            mu, lam, dcoef = props.viscosity, props.conductivity, props.diffusivities
+            wbar = mech.mean_weight(Y)
+            grad_w = [self.ops[b](wbar, axis=b) for b in range(ndim)]
+            grad_y = np.empty((mech.n_species, ndim) + rho.shape)
+            for i in range(mech.n_species):
+                for b in range(ndim):
+                    grad_y[i, b] = self.ops[b](Y[i], axis=b)
+            div_u = sum(grad_vel[a][a] for a in range(ndim))
+            # stress tensor, eq. (14)
+            tau = [[None] * ndim for _ in range(ndim)]
+            for a in range(ndim):
+                for b in range(a, ndim):
+                    t_ab = mu * (grad_vel[a][b] + grad_vel[b][a])
+                    if a == b:
+                        t_ab = t_ab - (2.0 / 3.0) * mu * div_u
+                    tau[a][b] = t_ab
+                    tau[b][a] = t_ab
+            # species diffusive fluxes, eq. (19) + correction (eq. 15)
+            flux_j = np.empty_like(grad_y)
+            for b in range(ndim):
+                gw = grad_w[b] / wbar
+                for i in range(mech.n_species):
+                    flux_j[i, b] = -rho * dcoef[i] * (grad_y[i, b] + Y[i] * gw)
+                if props.thermal_diffusion_ratios is not None:
+                    glnt = grad_T[b] / T
+                    theta = props.thermal_diffusion_ratios
+                    wr = mech.weights.reshape((-1,) + (1,) * rho.ndim) / wbar[None]
+                    flux_j[:, b] += -rho[None] * dcoef * theta * wr * glnt[None]
+                correction = flux_j[:, b].sum(axis=0)
+                flux_j[:, b] -= Y * correction[None]
+            # heat flux, eq. (20)
+            h_i = mech.species_enthalpy_mass(T)
+            flux_q = [
+                -lam * grad_T[b] + (h_i * flux_j[:, b]).sum(axis=0) for b in range(ndim)
+            ]
+
+        # -- flux divergence --------------------------------------------
+        du = np.zeros_like(u)
+        for b in range(ndim):
+            ub = vel[b]
+            conv_rho = rho * ub
+            du[st.i_rho] -= self.ops[b](conv_rho, axis=b)
+            for a in range(ndim):
+                f = rho * vel[a] * ub
+                if a == b:
+                    f = f + p
+                if viscous:
+                    f = f - tau[a][b]
+                du[st.i_mom(a)] -= self.ops[b](f, axis=b)
+            f_e = (rho * e0 + p) * ub
+            if viscous:
+                f_e = f_e - sum(tau[a][b] * vel[a] for a in range(ndim)) + flux_q[b]
+            du[st.i_energy] -= self.ops[b](f_e, axis=b)
+            for k in range(st.n_transported):
+                f_y = rho * Y[k] * ub
+                if viscous:
+                    f_y = f_y + flux_j[k, b]
+                du[st.i_species(k)] -= self.ops[b](f_y, axis=b)
+
+        # -- chemical sources --------------------------------------------
+        if self.reacting and mech.n_reactions:
+            wdot_mass = mech.production_rates(rho, T, Y)
+            for k in range(st.n_transported):
+                du[st.i_species(k)] += wdot_mass[k]
+            h_i = mech.species_enthalpy_mass(T)
+            self.last_heat_release = -(h_i * wdot_mass).sum(axis=0)
+        else:
+            self.last_heat_release = np.zeros_like(rho)
+
+        # -- characteristic boundary handling -----------------------------
+        if self._needs_nscbc:
+            grad_p = [self.ops[b](p, axis=b) for b in range(ndim)]
+            grad_rho = [self.ops[b](rho, axis=b) for b in range(ndim)]
+            gy = grad_y if viscous else None
+            nscbc.apply_boundary_conditions(
+                self, t, u, du,
+                rho=rho, vel=vel, T=T, p=p, Y=Y,
+                grad_rho=grad_rho, grad_p=grad_p,
+                grad_vel=grad_vel, grad_y=gy,
+            )
+        return du
+
+    # ------------------------------------------------------------------
+    def stable_dt(self, u=None, cfl=0.8, fourier=0.4):
+        """Acoustic + diffusive stable time step estimate."""
+        st = self.state
+        rho, vel, T, p, Y, _ = st.primitives(st.u if u is None else u)
+        a = self.mech.sound_speed(T, Y)
+        dt = np.inf
+        for axis in range(self.ndim):
+            dx = 1.0 / np.abs(self.grid.inv_metric[axis]).max()
+            vmax = float((np.abs(vel[axis]) + a).max())
+            dt = min(dt, cfl * dx / vmax)
+        if self.transport is not None:
+            props = self.transport.evaluate(T, p, Y)
+            nu = float((props.viscosity / rho).max())
+            alpha = float(
+                (props.conductivity / (rho * self.mech.cp_mass(T, Y))).max()
+            )
+            dmax = max(nu, alpha, float(props.diffusivities.max()))
+            dx = self.grid.min_spacing
+            if dmax > 0:
+                dt = min(dt, fourier * dx * dx / dmax)
+        return dt
+
+    def species_internal_energies(self, T):
+        """Per-species specific internal energies e_i [J/kg]."""
+        h = self.mech.species_enthalpy_mass(T)
+        w = self.mech.weights.reshape((-1,) + (1,) * np.ndim(T))
+        return h - RU * np.asarray(T)[None] / w

@@ -1,0 +1,119 @@
+"""The DNS driver: time stepping, filtering, monitoring, hooks.
+
+:class:`S3DSolver` ties together the state, RHS, ERK integrator, and
+10th-order filter, and exposes the hook points the rest of the paper's
+ecosystem attaches to:
+
+* ``checkpoint_hook`` — called with (step, time, state); the I/O kernel
+  of §5 registers here,
+* ``insitu_hook`` — per-step visualization/analysis (§8.3),
+* min/max monitoring per variable (the ASCII monitoring files of §9),
+* per-kernel timers feeding the TAU-like profiler of §4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.erk import ERKIntegrator
+from repro.core.filters import filter_operators
+from repro.core.rhs import CompressibleRHS
+from repro.util.timers import TimerRegistry
+
+
+class S3DSolver:
+    """Explicit compressible reacting-flow DNS solver.
+
+    Parameters
+    ----------
+    state:
+        Initial :class:`~repro.core.state.State` (advanced in place).
+    config:
+        :class:`~repro.core.config.SolverConfig`.
+    transport:
+        Transport model or None (inviscid).
+    reacting:
+        Include chemistry source terms.
+    """
+
+    def __init__(self, state, config, transport=None, reacting=True):
+        config.validate(state.grid)
+        self.state = state
+        self.config = config
+        self.rhs = CompressibleRHS(
+            state, transport=transport, boundaries=config.boundaries, reacting=reacting
+        )
+        self.integrator = ERKIntegrator(config.scheme)
+        self.filters = filter_operators(state.grid, alpha=config.filter_alpha)
+        self.time = 0.0
+        self.step_count = 0
+        self.timers = TimerRegistry()
+        self.checkpoint_hook = None
+        self.insitu_hook = None
+        self.monitor_history = []  # list of (step, time, {var: (min, max)})
+
+    # ------------------------------------------------------------------
+    def compute_dt(self) -> float:
+        """Stable time step from the configured CFL (or the fixed dt)."""
+        if self.config.dt is not None:
+            return self.config.dt
+        return self.rhs.stable_dt(cfl=self.config.cfl)
+
+    def step(self, dt: float | None = None) -> float:
+        """Advance one time step; returns the dt used."""
+        if dt is None:
+            dt = self.compute_dt()
+        with self.timers("integrate"):
+            self.state.u = self.integrator.step(self.rhs, self.time, self.state.u, dt)
+        self.time += dt
+        self.step_count += 1
+        interval = self.config.filter_interval
+        if interval and self.step_count % interval == 0:
+            with self.timers("filter"):
+                self.apply_filter()
+        return dt
+
+    def apply_filter(self) -> None:
+        """Apply the 10th-order filter along every direction."""
+        u = self.state.u
+        for axis, filt in enumerate(self.filters):
+            for var in range(u.shape[0]):
+                u[var] = filt.apply(u[var], axis=axis)
+
+    def run(self, n_steps: int, monitor_interval: int = 0,
+            checkpoint_interval: int = 0, insitu_interval: int = 0):
+        """Advance ``n_steps`` steps, firing hooks at the given intervals."""
+        for _ in range(n_steps):
+            self.step()
+            if monitor_interval and self.step_count % monitor_interval == 0:
+                self.record_monitor()
+            if (
+                checkpoint_interval
+                and self.checkpoint_hook is not None
+                and self.step_count % checkpoint_interval == 0
+            ):
+                with self.timers("checkpoint"):
+                    self.checkpoint_hook(self.step_count, self.time, self.state)
+            if (
+                insitu_interval
+                and self.insitu_hook is not None
+                and self.step_count % insitu_interval == 0
+            ):
+                with self.timers("insitu"):
+                    self.insitu_hook(self.step_count, self.time, self.state)
+        return self.state
+
+    def record_monitor(self) -> dict:
+        """Record per-variable min/max (§9's ASCII monitoring data)."""
+        mm = self.state.min_max()
+        self.monitor_history.append((self.step_count, self.time, mm))
+        return mm
+
+    # ------------------------------------------------------------------
+    def primitives(self):
+        """Convenience: decode the current primitive fields."""
+        return self.state.primitives()
+
+    def performance_report(self) -> str:
+        """Per-kernel timer table."""
+        return self.timers.report()

@@ -1,0 +1,46 @@
+"""Interconnect cost model shared by the I/O layers.
+
+MPI-I/O caching and two-stage write-behind move data between processes
+(metadata requests, remote-page forwards, first-to-second-stage
+flushes); the two-phase collective shuffles to aggregators. All charge
+against this simple per-rank link model, with the per-phase elapsed
+time being the busiest rank's traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkModel:
+    bandwidth: float = 200e6   # B/s per rank link
+    latency: float = 2e-5      # s per message
+
+    def __post_init__(self):
+        self._bytes = defaultdict(float)
+        self._msgs = defaultdict(int)
+        self.total_time = 0.0
+
+    def send(self, source: int, dest: int, nbytes: int) -> None:
+        """Record one message (both endpoints busy)."""
+        if source == dest:
+            return
+        self._bytes[source] += nbytes
+        self._bytes[dest] += nbytes
+        self._msgs[source] += 1
+        self._msgs[dest] += 1
+
+    def settle(self) -> float:
+        """Close a communication phase; returns its elapsed time."""
+        if not self._bytes and not self._msgs:
+            return 0.0
+        elapsed = max(
+            self._bytes[r] / self.bandwidth + self._msgs[r] * self.latency
+            for r in set(self._bytes) | set(self._msgs)
+        )
+        self._bytes.clear()
+        self._msgs.clear()
+        self.total_time += elapsed
+        return elapsed

@@ -1,0 +1,80 @@
+"""Set-associative LRU cache simulator.
+
+Used to quantify the data-reuse improvement of the §4.1 loop
+transformations: the same memory-access trace (from
+:func:`repro.loopopt.ir.trace_accesses`) replayed through a model of
+the Opteron's 1 MB 16-way L2 shows the miss-count reduction that the
+paper's 2.94x kernel speedup comes from ("each 50^3 slice of the
+diffFlux array almost completely fills the 1 MB secondary cache").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CacheSim:
+    """Set-associative LRU cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity (default 1 MB — Opteron L2).
+    line_bytes:
+        Cache-line size (default 64 B).
+    associativity:
+        Ways per set (default 16).
+    """
+
+    def __init__(self, size_bytes: int = 1 << 20, line_bytes: int = 64,
+                 associativity: int = 16):
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError("size must be a multiple of line * associativity")
+        self.line_bytes = int(line_bytes)
+        self.associativity = int(associativity)
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Touch one address; returns True on hit."""
+        line = address // self.line_bytes
+        s = self._sets[line % self.n_sets]
+        self.stats.accesses += 1
+        if line in s:
+            s.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        s[line] = True
+        if len(s) > self.associativity:
+            s.popitem(last=False)  # LRU eviction
+        return False
+
+    def reset(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+
+def simulate_trace(trace, **cache_kwargs) -> CacheStats:
+    """Replay an access trace; returns the cache statistics."""
+    sim = CacheSim(**cache_kwargs)
+    for address, is_write in trace:
+        sim.access(address, is_write)
+    return sim.stats

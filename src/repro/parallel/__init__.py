@@ -1,0 +1,28 @@
+"""Parallel substrate: simulated MPI, domain decomposition, halo exchange.
+
+The paper's S3D parallelizes with a 3D domain decomposition and MPI,
+communicating only with nearest neighbours via non-blocking ghost-zone
+exchange (§2.6); messages for a typical problem are ~80 kB. Jaguar-scale
+hardware is out of reach here, so this package provides an in-process
+simulated MPI that preserves the *communication structure* — ranks,
+cartesian topology, point-to-point sends with byte accounting,
+collectives — which the performance model (§4) and the parallel I/O
+layer (§5) observe, plus a rank-parallel solver wrapper whose results
+are bitwise-reproducible against the serial solver.
+"""
+
+from repro.parallel.comm import SimMPI, SimComm, MessageLog
+from repro.parallel.decomp import CartesianDecomposition, block_range
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.solver import ParallelField, parallel_derivative
+
+__all__ = [
+    "SimMPI",
+    "SimComm",
+    "MessageLog",
+    "CartesianDecomposition",
+    "block_range",
+    "HaloExchanger",
+    "ParallelField",
+    "parallel_derivative",
+]

@@ -1,0 +1,170 @@
+"""In-process simulated MPI.
+
+``SimMPI(size)`` owns a set of ranks executed cooperatively in a single
+process. Communication follows mpi4py's buffer-style semantics: sends
+deposit numpy arrays into per-destination mailboxes; receives pop them
+in order, matched by (source, tag). Because ranks are driven in lockstep
+phases (post sends, then receive), the nearest-neighbour exchange
+patterns of S3D map 1:1.
+
+Every transfer is recorded in a :class:`MessageLog` (source, dest, tag,
+bytes) — the observable the §4 performance model and the §5 I/O layer
+consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class MessageRecord:
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class MessageLog:
+    """Accounting of all messages through a :class:`SimMPI` world."""
+
+    records: list = field(default_factory=list)
+
+    def record(self, source: int, dest: int, tag: int, nbytes: int) -> None:
+        self.records.append(MessageRecord(source, dest, tag, nbytes))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def by_pair(self) -> dict:
+        """Total bytes per (source, dest) pair."""
+        out = defaultdict(int)
+        for r in self.records:
+            out[(r.source, r.dest)] += r.nbytes
+        return dict(out)
+
+    def message_sizes(self) -> list:
+        return [r.nbytes for r in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class SimComm:
+    """Communicator handle for one rank of a :class:`SimMPI` world."""
+
+    def __init__(self, world: "SimMPI", rank: int):
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.size
+
+    # -- point to point -------------------------------------------------
+    def Send(self, array, dest: int, tag: int = 0) -> None:
+        """Deposit a copy of ``array`` into ``dest``'s mailbox."""
+        self.world._send(self.rank, dest, tag, np.array(array, copy=True))
+
+    def Recv(self, source: int, tag: int = 0):
+        """Pop the oldest matching message; raises if none pending."""
+        return self.world._recv(self.rank, source, tag)
+
+    def Isend(self, array, dest: int, tag: int = 0) -> None:
+        """Non-blocking send — same as Send under cooperative execution."""
+        self.Send(array, dest, tag)
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True if a matching message is waiting."""
+        return self.world._probe(self.rank, source, tag)
+
+    # -- collectives ------------------------------------------------------
+    def allreduce_sum(self, value):
+        """Deferred collective: contribute and read after world.collect()."""
+        return self.world._collective(self.rank, "sum", value)
+
+    def allreduce_max(self, value):
+        return self.world._collective(self.rank, "max", value)
+
+
+class SimMPI:
+    """A simulated MPI world of ``size`` ranks in one process.
+
+    Point-to-point messages flow through mailboxes keyed by
+    (dest, source, tag). Collectives use a two-phase contribute/resolve
+    protocol driven by :meth:`run_phases`.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = int(size)
+        self._mailboxes: dict = defaultdict(deque)
+        self.log = MessageLog()
+        self._collect_buf: dict = {}
+
+    def comm(self, rank: int) -> SimComm:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return SimComm(self, rank)
+
+    def comms(self) -> list:
+        return [self.comm(r) for r in range(self.size)]
+
+    # -- internals -------------------------------------------------------
+    def _send(self, source: int, dest: int, tag: int, array) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        self._mailboxes[(dest, source, tag)].append(array)
+        self.log.record(source, dest, tag, array.nbytes)
+
+    def _recv(self, rank: int, source: int, tag: int):
+        box = self._mailboxes[(rank, source, tag)]
+        if not box:
+            raise RuntimeError(
+                f"rank {rank}: no pending message from {source} with tag {tag}"
+            )
+        return box.popleft()
+
+    def _probe(self, rank: int, source: int, tag: int) -> bool:
+        return bool(self._mailboxes[(rank, source, tag)])
+
+    def _collective(self, rank: int, op: str, value):
+        self._collect_buf.setdefault(op, {})[rank] = value
+        buf = self._collect_buf[op]
+        if len(buf) == self.size:
+            vals = list(buf.values())
+            result = sum(vals) if op == "sum" else max(vals)
+            self._collect_buf[op] = {}
+            return result
+        return None
+
+    def run_phases(self, *phases) -> list:
+        """Run callables phase-by-phase across all ranks.
+
+        Each phase is a callable ``f(comm) -> result``; all ranks complete
+        a phase before the next begins (a bulk-synchronous step). Returns
+        the final phase's per-rank results.
+        """
+        results = []
+        for phase in phases:
+            results = [phase(self.comm(r)) for r in range(self.size)]
+        return results
+
+    def pending_messages(self) -> int:
+        return sum(len(q) for q in self._mailboxes.values())

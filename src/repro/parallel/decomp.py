@@ -1,0 +1,128 @@
+"""3D Cartesian domain decomposition (S3D's layout, §2.6).
+
+Every MPI process owns an equal block of the global structured grid;
+neighbours are found in the Cartesian process topology. S3D requires
+equal block sizes per rank (same computational load); we support mildly
+uneven splits (remainder spread over leading ranks) but provide
+:meth:`CartesianDecomposition.is_uniform` so callers can enforce the
+S3D constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def block_range(n: int, parts: int, index: int) -> tuple:
+    """Start/stop of block ``index`` when ``n`` points split into ``parts``.
+
+    The remainder is distributed to the leading blocks, so sizes differ
+    by at most one.
+    """
+    if not 0 <= index < parts:
+        raise ValueError(f"block index {index} out of range [0, {parts})")
+    base, rem = divmod(n, parts)
+    start = index * base + min(index, rem)
+    size = base + (1 if index < rem else 0)
+    return start, start + size
+
+
+class CartesianDecomposition:
+    """Maps ranks <-> blocks of a global grid.
+
+    Parameters
+    ----------
+    global_shape:
+        Global grid points per direction.
+    proc_shape:
+        Processes per direction; ``prod(proc_shape)`` is the world size.
+    periodic:
+        Per-direction periodicity (wraps neighbour lookups).
+    """
+
+    def __init__(self, global_shape, proc_shape, periodic=None):
+        self.global_shape = tuple(int(n) for n in global_shape)
+        self.proc_shape = tuple(int(p) for p in proc_shape)
+        if len(self.global_shape) != len(self.proc_shape):
+            raise ValueError("global_shape and proc_shape must have equal rank")
+        self.ndim = len(self.global_shape)
+        self.periodic = tuple(periodic or (False,) * self.ndim)
+        for n, p in zip(self.global_shape, self.proc_shape):
+            if p < 1 or p > n:
+                raise ValueError(f"invalid processor count {p} for {n} points")
+        self.size = int(np.prod(self.proc_shape))
+
+    # -- rank <-> coordinates ---------------------------------------------
+    def coords(self, rank: int) -> tuple:
+        """Cartesian coordinates of ``rank`` (row-major ordering)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        out = []
+        rem = rank
+        for p in reversed(self.proc_shape):
+            out.append(rem % p)
+            rem //= p
+        return tuple(reversed(out))
+
+    def rank_of(self, coords) -> int:
+        """Rank of the process at Cartesian ``coords``."""
+        rank = 0
+        for c, p in zip(coords, self.proc_shape):
+            if not 0 <= c < p:
+                raise ValueError(f"coords {coords} out of range for {self.proc_shape}")
+            rank = rank * p + c
+        return rank
+
+    def neighbor(self, rank: int, axis: int, direction: int):
+        """Neighbouring rank along ``axis`` (+1/-1), or None at a wall."""
+        coords = list(self.coords(rank))
+        coords[axis] += direction
+        p = self.proc_shape[axis]
+        if self.periodic[axis]:
+            coords[axis] %= p
+        elif not 0 <= coords[axis] < p:
+            return None
+        return self.rank_of(tuple(coords))
+
+    # -- block geometry ------------------------------------------------------
+    def local_slices(self, rank: int) -> tuple:
+        """Global-index slices of the block owned by ``rank``."""
+        coords = self.coords(rank)
+        out = []
+        for axis in range(self.ndim):
+            start, stop = block_range(
+                self.global_shape[axis], self.proc_shape[axis], coords[axis]
+            )
+            out.append(slice(start, stop))
+        return tuple(out)
+
+    def local_shape(self, rank: int) -> tuple:
+        return tuple(s.stop - s.start for s in self.local_slices(rank))
+
+    def is_uniform(self) -> bool:
+        """True when every rank owns an identical block (S3D requirement)."""
+        return all(n % p == 0 for n, p in zip(self.global_shape, self.proc_shape))
+
+    def scatter(self, global_array: np.ndarray, leading_axes: int = 0) -> list:
+        """Split a global array into per-rank local arrays.
+
+        ``leading_axes`` non-decomposed axes (e.g. the variable axis) are
+        preserved in front.
+        """
+        out = []
+        prefix = (slice(None),) * leading_axes
+        for rank in range(self.size):
+            out.append(np.ascontiguousarray(global_array[prefix + self.local_slices(rank)]))
+        return out
+
+    def gather(self, local_arrays, leading_axes: int = 0) -> np.ndarray:
+        """Reassemble per-rank local arrays into the global array."""
+        if len(local_arrays) != self.size:
+            raise ValueError(f"need {self.size} local arrays, got {len(local_arrays)}")
+        sample = np.asarray(local_arrays[0])
+        lead = sample.shape[:leading_axes]
+        out = np.empty(lead + self.global_shape, dtype=sample.dtype)
+        prefix = (slice(None),) * leading_axes
+        for rank, arr in enumerate(local_arrays):
+            out[prefix + self.local_slices(rank)] = arr
+        return out

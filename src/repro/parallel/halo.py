@@ -1,0 +1,142 @@
+"""Ghost-zone (halo) exchange between nearest neighbours.
+
+S3D constructs a ghost zone at processor boundaries with non-blocking
+MPI sends/receives among nearest neighbours in the 3D topology (§2.6).
+The 8th-order derivative stencil needs 4 ghost layers, the 10th-order
+filter 5; :class:`HaloExchanger` defaults to the larger.
+
+The exchange runs in two bulk-synchronous phases per axis — post all
+sends, then drain receives — matching the non-blocking overlap pattern
+of the original code. Axes are exchanged sequentially; face-only
+messages suffice because all stencils here are axis-aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ghost width covering both the derivative (4) and filter (5) stencils
+DEFAULT_GHOST_WIDTH = 5
+
+
+class HaloExchanger:
+    """Exchanges ghost layers for block-decomposed fields.
+
+    Parameters
+    ----------
+    decomp:
+        A :class:`~repro.parallel.decomp.CartesianDecomposition`.
+    world:
+        A :class:`~repro.parallel.comm.SimMPI` world of matching size.
+    width:
+        Ghost-layer count per face.
+    """
+
+    def __init__(self, decomp, world, width: int = DEFAULT_GHOST_WIDTH):
+        if world.size != decomp.size:
+            raise ValueError(
+                f"world size {world.size} != decomposition size {decomp.size}"
+            )
+        self.decomp = decomp
+        self.world = world
+        self.width = int(width)
+        if self.width < 1:
+            raise ValueError("ghost width must be >= 1")
+
+    # ------------------------------------------------------------------
+    def extended_shape(self, rank: int, leading: tuple = ()) -> tuple:
+        """Local shape including ghost layers on interior faces."""
+        shape = list(self.decomp.local_shape(rank))
+        for axis in range(self.decomp.ndim):
+            for direction in (-1, 1):
+                if self.decomp.neighbor(rank, axis, direction) is not None:
+                    shape[axis] += self.width
+        return tuple(leading) + tuple(shape)
+
+    def ghost_offsets(self, rank: int) -> list:
+        """Per-axis offset of the owned block inside the extended array."""
+        return [
+            self.width if self.decomp.neighbor(rank, axis, -1) is not None else 0
+            for axis in range(self.decomp.ndim)
+        ]
+
+    def interior_slices(self, rank: int, leading_axes: int = 0) -> tuple:
+        """Slices selecting the owned block inside the extended array."""
+        offs = self.ghost_offsets(rank)
+        shape = self.decomp.local_shape(rank)
+        sl = [slice(None)] * leading_axes
+        sl += [slice(o, o + n) for o, n in zip(offs, shape)]
+        return tuple(sl)
+
+    # ------------------------------------------------------------------
+    def _valid_slices(self, rank: int, swept: set, leading_axes: int) -> list:
+        """Extent of valid data per axis: full after that axis was swept,
+        owned interior before."""
+        offs = self.ghost_offsets(rank)
+        shape = self.decomp.local_shape(rank)
+        sl = [slice(None)] * leading_axes
+        for axis in range(self.decomp.ndim):
+            if axis in swept:
+                sl.append(slice(None))
+            else:
+                sl.append(slice(offs[axis], offs[axis] + shape[axis]))
+        return sl
+
+    def exchange(self, locals_: list, leading_axes: int = 0) -> list:
+        """Build extended (ghost-padded) arrays for all ranks.
+
+        ``locals_`` holds the owned blocks per rank (no ghosts). Returns
+        the extended arrays with ghost layers filled from neighbours via
+        simulated MPI messages. Axes are swept sequentially; each sweep
+        sends slabs spanning the already-extended extents of previously
+        swept axes, so corner ghosts are filled correctly — required for
+        nested-gradient (viscous) equivalence with the serial solver.
+        """
+        decomp, world, w = self.decomp, self.world, self.width
+        lead = tuple(np.asarray(locals_[0]).shape[:leading_axes])
+        extended = []
+        for rank in range(decomp.size):
+            ext = np.zeros(self.extended_shape(rank, lead), dtype=float)
+            ext[self.interior_slices(rank, leading_axes)] = locals_[rank]
+            extended.append(ext)
+        swept: set = set()
+        for axis in range(decomp.ndim):
+            ax = leading_axes + axis
+            # phase 1: all ranks post sends of their boundary slabs
+            for rank in range(decomp.size):
+                comm = world.comm(rank)
+                ext = extended[rank]
+                offs = self.ghost_offsets(rank)
+                n_local = decomp.local_shape(rank)[axis]
+                for direction, tag in ((-1, 2 * axis), (1, 2 * axis + 1)):
+                    nb = decomp.neighbor(rank, axis, direction)
+                    if nb is None:
+                        continue
+                    sl = self._valid_slices(rank, swept, leading_axes)
+                    if direction == -1:
+                        sl[ax] = slice(offs[axis], offs[axis] + w)
+                    else:
+                        sl[ax] = slice(offs[axis] + n_local - w, offs[axis] + n_local)
+                    comm.Isend(ext[tuple(sl)], dest=nb, tag=tag)
+            # phase 2: all ranks drain receives into ghost layers
+            for rank in range(decomp.size):
+                comm = world.comm(rank)
+                ext = extended[rank]
+                offs = self.ghost_offsets(rank)
+                n_local = decomp.local_shape(rank)[axis]
+                for direction, tag in ((-1, 2 * axis + 1), (1, 2 * axis)):
+                    nb = decomp.neighbor(rank, axis, direction)
+                    if nb is None:
+                        continue
+                    data = comm.Recv(source=nb, tag=tag)
+                    sl = self._valid_slices(rank, swept, leading_axes)
+                    if direction == -1:
+                        sl[ax] = slice(0, w)
+                    else:
+                        start = offs[axis] + n_local
+                        sl[ax] = slice(start, start + w)
+                    ext[tuple(sl)] = data
+            swept.add(axis)
+            # refresh locals with any corner information? not needed for
+            # axis-aligned stencils: each axis exchange uses owned data only
+        return extended

@@ -1,0 +1,99 @@
+"""Cray XT3/XT4 node models (§3).
+
+Public Jaguar-2007 parameters: every compute node has a 2.6 GHz
+dual-core AMD Opteron with 4 GB of memory; XT3 nodes deliver 6.4 GB/s
+peak memory bandwidth, XT4 nodes 10.6 GB/s (667 MHz DDR2). Peak FLOP
+rate is 2 flops/cycle/core (SSE2 double precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Analytic node: peak flops and sustainable memory bandwidth."""
+
+    name: str
+    clock_hz: float
+    cores: int
+    flops_per_cycle: float
+    mem_bandwidth: float  # bytes/s per node
+    #: fraction of peak bandwidth sustainable by stride-1 stencil code
+    stream_efficiency: float = 0.75
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak node FLOP rate [flop/s]."""
+        return self.clock_hz * self.cores * self.flops_per_cycle
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Bandwidth a well-written stencil loop actually sees [B/s]."""
+        return self.mem_bandwidth * self.stream_efficiency
+
+    @property
+    def usable_bandwidth_per_core(self) -> float:
+        return self.usable_bandwidth / self.cores
+
+    @property
+    def balance(self) -> float:
+        """Machine balance: bytes per flop at peak."""
+        return self.mem_bandwidth / self.peak_flops
+
+
+#: Jaguar XT3 compute node (6214 of them in the 2007 configuration)
+XT3 = NodeModel(
+    name="XT3",
+    clock_hz=2.6e9,
+    cores=2,
+    flops_per_cycle=2.0,
+    mem_bandwidth=6.4e9,
+)
+
+#: Jaguar XT4 compute node (5294 nodes, 667 MHz DDR2)
+XT4 = NodeModel(
+    name="XT4",
+    clock_hz=2.6e9,
+    cores=2,
+    flops_per_cycle=2.0,
+    mem_bandwidth=10.6e9,
+)
+
+
+@dataclass(frozen=True)
+class HybridSystem:
+    """The 2007 Jaguar mix: XT3 + XT4 compute nodes in one system."""
+
+    n_xt3: int = 6214
+    n_xt4: int = 5294
+
+    @property
+    def total_nodes(self) -> int:
+        return self.n_xt3 + self.n_xt4
+
+    @property
+    def total_cores(self) -> int:
+        return 2 * self.total_nodes
+
+    @property
+    def xt4_fraction(self) -> float:
+        return self.n_xt4 / self.total_nodes
+
+    def allocation(self, n_cores: int):
+        """(xt4_cores, xt3_cores) for an allocation of ``n_cores``.
+
+        XT4 nodes are preferred (they are faster); allocations beyond
+        the XT4 partition spill onto XT3 nodes — the paper's
+        "runs on more than 8192 cores must use a combination".
+        """
+        xt4_cores = min(n_cores, 2 * self.n_xt4)
+        xt3_cores = n_cores - xt4_cores
+        if xt3_cores > 2 * self.n_xt3:
+            raise ValueError(f"allocation of {n_cores} cores exceeds the machine")
+        return xt4_cores, xt3_cores

@@ -1,0 +1,36 @@
+"""Lennard-Jones collision integrals (Neufeld, Janzen & Aziz 1972 fits).
+
+The reduced collision integrals Omega^(1,1)* and Omega^(2,2)* as functions
+of the reduced temperature T* = kT/eps. Accuracy of the fits is ~0.1 % over
+0.3 <= T* <= 100, which covers all combustion-relevant conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reduced_temperature(T, eps_over_k):
+    """Reduced temperature T* = T / (eps/k)."""
+    return np.asarray(T, dtype=float) / eps_over_k
+
+
+def omega22(t_star):
+    """Reduced collision integral Omega^(2,2)* (viscosity/conductivity)."""
+    t = np.asarray(t_star, dtype=float)
+    return (
+        1.16145 * t**-0.14874
+        + 0.52487 * np.exp(-0.77320 * t)
+        + 2.16178 * np.exp(-2.43787 * t)
+    )
+
+
+def omega11(t_star):
+    """Reduced collision integral Omega^(1,1)* (diffusion)."""
+    t = np.asarray(t_star, dtype=float)
+    return (
+        1.06036 * t**-0.15610
+        + 0.19300 * np.exp(-0.47635 * t)
+        + 1.03587 * np.exp(-1.52996 * t)
+        + 1.76474 * np.exp(-3.89411 * t)
+    )

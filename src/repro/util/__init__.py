@@ -1,0 +1,32 @@
+"""Shared utilities: physical constants, validation helpers, timers."""
+
+from repro.util.constants import (
+    RU,
+    P_ATM,
+    T_STANDARD,
+    AVOGADRO,
+    BOLTZMANN,
+    CAL_TO_J,
+)
+from repro.util.validation import (
+    check_positive,
+    check_in_range,
+    check_shape,
+    check_probability_vector,
+)
+from repro.util.timers import Timer, TimerRegistry
+
+__all__ = [
+    "RU",
+    "P_ATM",
+    "T_STANDARD",
+    "AVOGADRO",
+    "BOLTZMANN",
+    "CAL_TO_J",
+    "check_positive",
+    "check_in_range",
+    "check_shape",
+    "check_probability_vector",
+    "Timer",
+    "TimerRegistry",
+]

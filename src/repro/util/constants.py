@@ -1,0 +1,24 @@
+"""Physical constants in SI units.
+
+All of :mod:`repro` works in SI internally: kg, m, s, K, J, mol.
+Chemistry rate coefficients are converted from the CGS/cal conventions of
+CHEMKIN-format mechanisms at load time (see :mod:`repro.chemistry.parser`).
+"""
+
+#: Universal gas constant [J / (mol K)].
+RU = 8.31446261815324
+
+#: Standard atmosphere [Pa].
+P_ATM = 101325.0
+
+#: Standard-state reference temperature for thermodynamic data [K].
+T_STANDARD = 298.15
+
+#: Avogadro constant [1/mol].
+AVOGADRO = 6.02214076e23
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Thermochemical calorie [J].
+CAL_TO_J = 4.184

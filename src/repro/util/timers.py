@@ -1,0 +1,71 @@
+"""Wall-clock timers used by the solver and the TAU-like profiler."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Supports use as a context manager::
+
+        t = Timer("rhs")
+        with t:
+            compute()
+        print(t.total, t.count)
+    """
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed time per start/stop pair (0 if never run)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimerRegistry:
+    """A named collection of :class:`Timer` objects."""
+
+    timers: dict = field(default_factory=dict)
+
+    def __call__(self, name: str) -> Timer:
+        """Return (creating on first use) the timer called ``name``."""
+        if name not in self.timers:
+            self.timers[name] = Timer(name)
+        return self.timers[name]
+
+    def report(self) -> str:
+        """Human-readable table of all timers, sorted by total time."""
+        rows = sorted(self.timers.values(), key=lambda t: -t.total)
+        lines = [f"{'timer':<32s} {'total[s]':>10s} {'count':>8s} {'mean[ms]':>10s}"]
+        for t in rows:
+            lines.append(f"{t.name:<32s} {t.total:>10.4f} {t.count:>8d} {t.mean * 1e3:>10.4f}")
+        return "\n".join(lines)

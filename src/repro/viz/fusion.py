@@ -1,0 +1,62 @@
+"""Multivariate data fusion (§8.1).
+
+"The data-fusion problem here is to determine how to display multiple
+data values defined at the same spatial location." Two fusion modes:
+
+* :func:`fuse_fields` — value-level fusion: blend normalized fields
+  with weights into one composite scalar (cheap, for dashboards),
+* :func:`simultaneous_render` — render-level fusion through
+  :class:`~repro.viz.volume.VolumeRenderer.render_multi`, the mode used
+  for the OH + HO2 images of Figs 10/14.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.transfer import ColorMap, TransferFunction
+from repro.viz.volume import VolumeRenderer
+
+
+def fuse_fields(fields, weights=None):
+    """Weighted blend of min-max-normalized scalar fields."""
+    fields = [np.asarray(f, dtype=float) for f in fields]
+    if weights is None:
+        weights = [1.0] * len(fields)
+    if len(weights) != len(fields):
+        raise ValueError("one weight per field")
+    out = np.zeros_like(fields[0])
+    total = 0.0
+    for f, w in zip(fields, weights):
+        lo, hi = float(f.min()), float(f.max())
+        norm = (f - lo) / (hi - lo) if hi > lo else np.zeros_like(f)
+        out += w * norm
+        total += w
+    return out / total if total else out
+
+
+def simultaneous_render(fields: dict, view_axis: int = 2):
+    """Render the canonical §6 pairs: OH (cool colors) + HO2 (fire).
+
+    ``fields`` maps names to arrays; known names get tuned transfer
+    functions, others a generic gray ramp. Returns the RGB image.
+    """
+    layers = []
+    presets = {
+        "OH": (ColorMap.cool(), [(0.0, 0.0), (0.3, 0.0), (1.0, 0.8)]),
+        "HO2": (ColorMap.fire(), [(0.0, 0.0), (0.25, 0.0), (1.0, 0.7)]),
+        "T": (ColorMap.fire(), [(0.0, 0.0), (0.5, 0.1), (1.0, 0.5)]),
+        "mixfrac": (ColorMap.greens(), [(0.0, 0.0), (1.0, 0.4)]),
+    }
+    for name, field in fields.items():
+        f = np.asarray(field, dtype=float)
+        lo, hi = float(f.min()), float(f.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        cmap, opacity = presets.get(
+            name, (ColorMap([(0.0, (0.1,) * 3), (1.0, (0.9,) * 3)]),
+                   [(0.0, 0.0), (1.0, 0.5)])
+        )
+        layers.append((f, TransferFunction(lo, hi, cmap, opacity=opacity)))
+    renderer = VolumeRenderer(axis=view_axis)
+    return renderer.render_multi(layers)

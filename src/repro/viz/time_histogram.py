@@ -1,0 +1,61 @@
+"""Time histograms (§8.2, Fig 15's temporal view).
+
+For a time series of snapshots of one variable, the time histogram is a
+2D array (time step x value bin) of voxel counts; it exposes each
+variable's temporal character and helps pick time steps of interest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TimeHistogram:
+    """Accumulates per-timestep histograms of a scalar field."""
+
+    def __init__(self, vmin: float, vmax: float, bins: int = 64):
+        if vmax <= vmin:
+            raise ValueError("vmax must exceed vmin")
+        self.vmin, self.vmax = float(vmin), float(vmax)
+        self.bins = int(bins)
+        self.edges = np.linspace(self.vmin, self.vmax, self.bins + 1)
+        self._rows: list = []
+        self.times: list = []
+
+    def add_snapshot(self, t: float, field) -> None:
+        counts, _ = np.histogram(
+            np.asarray(field, dtype=float).ravel(),
+            bins=self.edges,
+        )
+        self._rows.append(counts)
+        self.times.append(float(t))
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """(n_steps, bins) count matrix."""
+        return np.asarray(self._rows, dtype=float)
+
+    def normalized(self) -> np.ndarray:
+        """Rows scaled to unit max (for display)."""
+        m = self.matrix
+        peak = m.max(axis=1, keepdims=True)
+        return m / np.maximum(peak, 1.0)
+
+    def interesting_steps(self, k: int = 3):
+        """Time indices where the distribution changed the most
+        (L1 distance between consecutive normalized rows)."""
+        m = self.matrix
+        if len(m) < 2:
+            return []
+        tot = m.sum(axis=1, keepdims=True)
+        p = m / np.maximum(tot, 1.0)
+        d = np.abs(np.diff(p, axis=0)).sum(axis=1)
+        order = np.argsort(d)[::-1][:k]
+        return sorted(int(i) + 1 for i in order)
+
+    def temporal_brush(self, lo: float, hi: float) -> np.ndarray:
+        """Fraction of voxels inside [lo, hi] per time step."""
+        in_range = (self.edges[:-1] >= lo) & (self.edges[1:] <= hi)
+        m = self.matrix
+        tot = m.sum(axis=1)
+        return m[:, in_range].sum(axis=1) / np.maximum(tot, 1.0)

@@ -1,0 +1,97 @@
+"""Transfer functions: scalar value -> (RGB, opacity)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ColorMap:
+    """Piecewise-linear colormap over [0, 1]."""
+
+    def __init__(self, stops):
+        """``stops`` is a list of (position, (r, g, b)) with positions
+        ascending in [0, 1] and channels in [0, 1]."""
+        if len(stops) < 2:
+            raise ValueError("need at least two color stops")
+        pos = np.array([s[0] for s in stops], dtype=float)
+        if np.any(np.diff(pos) < 0):
+            raise ValueError("stop positions must be ascending")
+        self.pos = pos
+        self.colors = np.array([s[1] for s in stops], dtype=float)
+
+    def __call__(self, t):
+        t = np.clip(np.asarray(t, dtype=float), 0.0, 1.0)
+        out = np.empty(t.shape + (3,))
+        for c in range(3):
+            out[..., c] = np.interp(t, self.pos, self.colors[:, c])
+        return out
+
+    @classmethod
+    def fire(cls):
+        """Black-red-orange-yellow-white (temperature-like)."""
+        return cls([
+            (0.0, (0.0, 0.0, 0.0)),
+            (0.35, (0.6, 0.05, 0.0)),
+            (0.6, (1.0, 0.45, 0.0)),
+            (0.85, (1.0, 0.85, 0.2)),
+            (1.0, (1.0, 1.0, 1.0)),
+        ])
+
+    @classmethod
+    def cool(cls):
+        """Dark blue to cyan (radical concentration-like)."""
+        return cls([
+            (0.0, (0.0, 0.0, 0.15)),
+            (0.5, (0.0, 0.3, 0.8)),
+            (1.0, (0.3, 0.95, 1.0)),
+        ])
+
+    @classmethod
+    def greens(cls):
+        return cls([
+            (0.0, (0.0, 0.1, 0.0)),
+            (1.0, (0.4, 1.0, 0.3)),
+        ])
+
+
+class TransferFunction:
+    """Maps raw scalar values to color and opacity.
+
+    Parameters
+    ----------
+    vmin, vmax:
+        Scalar range mapped onto [0, 1].
+    colormap:
+        A :class:`ColorMap`.
+    opacity:
+        Either a constant, or a list of (position, alpha) breakpoints
+        over the normalized range (piecewise linear).
+    """
+
+    def __init__(self, vmin: float, vmax: float, colormap: ColorMap,
+                 opacity=0.5):
+        if vmax <= vmin:
+            raise ValueError("vmax must exceed vmin")
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.colormap = colormap
+        if np.isscalar(opacity):
+            self._op_pos = np.array([0.0, 1.0])
+            self._op_val = np.array([float(opacity)] * 2)
+        else:
+            self._op_pos = np.array([p for p, _ in opacity], dtype=float)
+            self._op_val = np.array([a for _, a in opacity], dtype=float)
+
+    def normalize(self, values):
+        return np.clip(
+            (np.asarray(values, dtype=float) - self.vmin) / (self.vmax - self.vmin),
+            0.0,
+            1.0,
+        )
+
+    def __call__(self, values):
+        """(rgb, alpha) arrays for raw scalar ``values``."""
+        t = self.normalize(values)
+        rgb = self.colormap(t)
+        alpha = np.interp(t, self._op_pos, self._op_val)
+        return rgb, alpha

@@ -1,0 +1,61 @@
+"""Workflow substrate: the Kepler-based S3D automation of §9.
+
+An actor-oriented workflow engine in the Ptolemy II mould: data-centric
+actors connected by typed channels, with the execution semantics
+supplied by a separate director (§9's "actor-oriented modeling").
+On top of it, the S3D monitoring workflow of Fig 16: three parallel
+pipelines (restart/analysis, netCDF transformation, min/max logs)
+spanning a simulated jaguar -> ewok -> {HPSS, Sandia, UC Davis}
+environment, with the ProcessFile actor's checkpoint/restart fault
+tolerance and the FileWatcher's indirect coupling to the running
+simulation.
+
+* :mod:`repro.workflow.actor` / :mod:`repro.workflow.graph` /
+  :mod:`repro.workflow.director` — the engine,
+* :mod:`repro.workflow.environment` — machines, remote execution,
+  file stores, transfer costs, fault injection,
+* :mod:`repro.workflow.actors` — FileWatcher, ProcessFile, Transfer,
+  Morph, Archive, plotting actors,
+* :mod:`repro.workflow.provenance` — data/workflow provenance,
+* :mod:`repro.workflow.s3d_pipeline` — Fig 16's workflow,
+* :mod:`repro.workflow.dashboard` — the Figs 17-18 web-dashboard model.
+"""
+
+from repro.workflow.actor import Actor, Port, Token
+from repro.workflow.graph import Workflow
+from repro.workflow.director import ProcessNetworkDirector
+from repro.workflow.environment import Environment, Machine, RemoteError
+from repro.workflow.actors import (
+    FileWatcher,
+    ProcessFile,
+    Transfer,
+    Morph,
+    Archive,
+    MinMaxParser,
+    PlotImages,
+)
+from repro.workflow.provenance import ProvenanceStore
+from repro.workflow.s3d_pipeline import build_s3d_workflow, simulate_s3d_run
+from repro.workflow.dashboard import Dashboard
+
+__all__ = [
+    "Actor",
+    "Port",
+    "Token",
+    "Workflow",
+    "ProcessNetworkDirector",
+    "Environment",
+    "Machine",
+    "RemoteError",
+    "FileWatcher",
+    "ProcessFile",
+    "Transfer",
+    "Morph",
+    "Archive",
+    "MinMaxParser",
+    "PlotImages",
+    "ProvenanceStore",
+    "build_s3d_workflow",
+    "simulate_s3d_run",
+    "Dashboard",
+]

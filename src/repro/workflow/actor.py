@@ -1,0 +1,92 @@
+"""Actors, ports, tokens — the data-centric components of §9.
+
+An :class:`Actor` declares named input and output ports; during
+execution, the director moves :class:`Token` objects along channels and
+calls :meth:`Actor.fire` whenever the actor's firing rule is satisfied
+(by default: at least one token on every *required* input port).
+Actors never touch the scheduling — that separation of computation from
+control flow is the actor-oriented design point the paper highlights.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_token_counter = itertools.count()
+
+
+@dataclass
+class Token:
+    """One unit of data flowing through the workflow."""
+
+    value: object
+    provenance: tuple = ()
+    uid: int = field(default_factory=lambda: next(_token_counter))
+
+    def derive(self, value, activity: str) -> "Token":
+        """A new token derived from this one by ``activity``."""
+        return Token(value=value, provenance=self.provenance + ((activity, self.uid),))
+
+
+@dataclass
+class Port:
+    """A named input or output connection point."""
+
+    name: str
+    required: bool = True
+
+
+class Actor:
+    """Base class for workflow actors.
+
+    Subclasses define ``inputs``/``outputs`` (lists of :class:`Port` or
+    names) and implement :meth:`fire`, receiving a dict of input tokens
+    and returning a dict ``{output_port: token_or_value}`` (values are
+    wrapped into fresh tokens). Source actors (no inputs) are fired by
+    the director each iteration until they report exhaustion by
+    returning None.
+    """
+
+    inputs: list = []
+    outputs: list = []
+
+    def __init__(self, name: str):
+        self.name = name
+        self.in_ports = [p if isinstance(p, Port) else Port(p) for p in self.inputs]
+        self.out_ports = [p if isinstance(p, Port) else Port(p) for p in self.outputs]
+        self.fired = 0
+
+    def input_names(self):
+        return [p.name for p in self.in_ports]
+
+    def output_names(self):
+        return [p.name for p in self.out_ports]
+
+    def ready(self, available: dict) -> bool:
+        """Firing rule: every required input has a token waiting."""
+        return all(
+            available.get(p.name, 0) > 0 for p in self.in_ports if p.required
+        )
+
+    def fire(self, inputs: dict) -> dict | None:
+        """Consume inputs, produce outputs. None = nothing produced."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionActor(Actor):
+    """Wrap a plain callable as a 1-in/1-out actor."""
+
+    inputs = ["in"]
+    outputs = ["out"]
+
+    def __init__(self, name: str, fn):
+        super().__init__(name)
+        self.fn = fn
+
+    def fire(self, inputs: dict) -> dict:
+        tok = inputs["in"]
+        return {"out": tok.derive(self.fn(tok.value), self.name)}

@@ -1,0 +1,72 @@
+"""Workflow graph: actors + channels (§9's "graph of independent
+components called actors where the edges denote communication links")."""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+
+class Workflow:
+    """A directed graph of actors connected port-to-port."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self.actors: dict = {}
+        #: channels[(src, src_port)] -> list of (dst, dst_port)
+        self.channels: dict = defaultdict(list)
+        #: queues[(dst, dst_port)] -> deque of tokens
+        self.queues: dict = defaultdict(deque)
+
+    def add(self, actor):
+        if actor.name in self.actors:
+            raise ValueError(f"duplicate actor name {actor.name!r}")
+        self.actors[actor.name] = actor
+        return actor
+
+    def connect(self, src: str, src_port: str, dst: str, dst_port: str) -> None:
+        """Wire an output port to an input port (fan-out allowed)."""
+        s, d = self.actors[src], self.actors[dst]
+        if src_port not in s.output_names():
+            raise ValueError(f"{src} has no output port {src_port!r}")
+        if dst_port not in d.input_names():
+            raise ValueError(f"{dst} has no input port {dst_port!r}")
+        self.channels[(src, src_port)].append((dst, dst_port))
+
+    # ------------------------------------------------------------------
+    def deliver(self, src_name: str, src_port: str, token) -> None:
+        """Push a token down every channel connected to (src, src_port)."""
+        for dst_name, dst_port in self.channels[(src_name, src_port)]:
+            self.queues[(dst_name, dst_port)].append(token)
+
+    def available(self, actor) -> dict:
+        """Tokens waiting per input port of ``actor``."""
+        return {
+            p.name: len(self.queues[(actor.name, p.name)]) for p in actor.in_ports
+        }
+
+    def consume(self, actor) -> dict:
+        """Pop one token from each non-empty input port."""
+        out = {}
+        for p in actor.in_ports:
+            q = self.queues[(actor.name, p.name)]
+            if q:
+                out[p.name] = q.popleft()
+        return out
+
+    def pending_tokens(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def sources(self) -> list:
+        """Actors with no input ports (fired unconditionally)."""
+        return [a for a in self.actors.values() if not a.in_ports]
+
+    def validate(self) -> None:
+        """Check every required input port of a non-source actor is wired."""
+        wired = {(dst, port) for targets in self.channels.values()
+                 for dst, port in targets}
+        for actor in self.actors.values():
+            for p in actor.in_ports:
+                if p.required and (actor.name, p.name) not in wired:
+                    raise ValueError(
+                        f"{actor.name}.{p.name} is required but unconnected"
+                    )

@@ -1,0 +1,58 @@
+"""Provenance tracking (§9: "track the provenance of the data and the
+workflow in real time ... find the original data sets contributing to a
+particular image").
+
+Tokens carry their derivation chain; the store indexes finished
+artifacts so lineage queries ("which restart files fed morph 3?") are
+answered by walking the recorded graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProvenanceRecord:
+    artifact: str
+    activity: str
+    inputs: tuple
+
+
+class ProvenanceStore:
+    """Append-only provenance graph over artifact names."""
+
+    def __init__(self):
+        self.records: list = []
+        self._by_artifact: dict = defaultdict(list)
+
+    def record(self, artifact: str, activity: str, inputs=()) -> None:
+        rec = ProvenanceRecord(str(artifact), str(activity), tuple(inputs))
+        self.records.append(rec)
+        self._by_artifact[rec.artifact].append(rec)
+
+    def record_token(self, artifact: str, token) -> None:
+        """Record a token's derivation chain as this artifact's history."""
+        acts = [a for a, _ in token.provenance]
+        self.record(artifact, acts[-1] if acts else "source",
+                    inputs=tuple(str(u) for _, u in token.provenance))
+
+    def ancestors(self, artifact: str) -> set:
+        """All artifacts reachable backwards from ``artifact``."""
+        out: set = set()
+        frontier = [artifact]
+        while frontier:
+            a = frontier.pop()
+            for rec in self._by_artifact.get(a, ()):
+                for src in rec.inputs:
+                    if src not in out:
+                        out.add(src)
+                        frontier.append(src)
+        return out
+
+    def activities_of(self, artifact: str) -> list:
+        return [rec.activity for rec in self._by_artifact.get(artifact, ())]
+
+    def __len__(self) -> int:
+        return len(self.records)

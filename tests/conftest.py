@@ -1,0 +1,43 @@
+"""Shared fixtures: mechanisms are session-scoped (construction is cheap
+but reused hundreds of times)."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import h2_li2004, ch4_onestep, ch4_twostep
+from repro.chemistry.mechanisms import air
+
+
+@pytest.fixture(scope="session")
+def h2_mech():
+    return h2_li2004()
+
+
+@pytest.fixture(scope="session")
+def air_mech():
+    return air()
+
+
+@pytest.fixture(scope="session")
+def ch4_mech():
+    return ch4_twostep()
+
+
+@pytest.fixture(scope="session")
+def ch4_1s_mech():
+    return ch4_onestep()
+
+
+@pytest.fixture(scope="session")
+def h2_air_stoich(h2_mech):
+    """Stoichiometric H2/air mass fractions."""
+    X = np.zeros(h2_mech.n_species)
+    X[h2_mech.index("H2")] = 0.296
+    X[h2_mech.index("O2")] = 0.148
+    X[h2_mech.index("N2")] = 0.556
+    return h2_mech.mole_to_mass(X)
+
+
+@pytest.fixture(scope="session")
+def air_y(air_mech):
+    return air_mech.mass_fractions_from({"O2": 0.233, "N2": 0.767})

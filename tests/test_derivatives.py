@@ -1,0 +1,145 @@
+"""Tests for the 8th-order derivative operator and Fornberg weights."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.derivatives import (
+    CENTRAL8,
+    DerivativeOperator,
+    fornberg_weights,
+    gradient_operators,
+)
+from repro.core.grid import Grid
+
+
+class TestFornberg:
+    def test_central_second_order(self):
+        w = fornberg_weights(0.0, [-1.0, 0.0, 1.0], 1)[1]
+        np.testing.assert_allclose(w, [-0.5, 0.0, 0.5], atol=1e-14)
+
+    def test_one_sided_first_order(self):
+        w = fornberg_weights(0.0, [0.0, 1.0], 1)[1]
+        np.testing.assert_allclose(w, [-1.0, 1.0], atol=1e-14)
+
+    def test_exact_on_polynomials(self):
+        nodes = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        w = fornberg_weights(1.5, nodes, 1)[1]
+        for deg in range(5):
+            f = nodes**deg
+            expected = deg * 1.5 ** (deg - 1) if deg else 0.0
+            assert np.dot(w, f) == pytest.approx(expected, abs=1e-10)
+
+    def test_interpolation_row(self):
+        w = fornberg_weights(0.5, [0.0, 1.0], 0)[0]
+        np.testing.assert_allclose(w, [0.5, 0.5], atol=1e-14)
+
+    def test_reproduces_central8(self):
+        nodes = np.arange(-4.0, 5.0)
+        w = fornberg_weights(0.0, nodes, 1)[1]
+        np.testing.assert_allclose(w[5:], CENTRAL8, rtol=1e-12)
+        np.testing.assert_allclose(w[:4], -CENTRAL8[::-1], rtol=1e-12)
+
+
+class TestDerivativeOperator:
+    def test_periodic_spectral_like_accuracy(self):
+        n, L = 64, 2 * np.pi
+        x = np.arange(n) * L / n
+        op = DerivativeOperator(n, L / n, periodic=True)
+        err = np.abs(op(np.sin(3 * x)) - 3 * np.cos(3 * x)).max()
+        assert err < 1e-6
+
+    def test_periodic_convergence_order(self):
+        errs = []
+        for n in (16, 32):
+            L = 2 * np.pi
+            x = np.arange(n) * L / n
+            op = DerivativeOperator(n, L / n, periodic=True)
+            errs.append(np.abs(op(np.sin(3 * x)) - 3 * np.cos(3 * x)).max())
+        order = math.log2(errs[0] / errs[1])
+        assert order > 7.0  # formally 8th order
+
+    def test_nonperiodic_convergence(self):
+        errs = []
+        for n in (33, 65):
+            x = np.linspace(0, 1, n)
+            op = DerivativeOperator(n, x[1] - x[0], periodic=False)
+            errs.append(np.abs(op(np.sin(6 * x)) - 6 * np.cos(6 * x)).max())
+        order = math.log2(errs[0] / errs[1])
+        assert order > 3.5  # boundary closures are 4th order
+
+    def test_polynomial_exactness_interior(self):
+        n = 41
+        x = np.linspace(0, 1, n)
+        op = DerivativeOperator(n, x[1] - x[0], periodic=False)
+        d = op(x**6)
+        w = 4
+        np.testing.assert_allclose(d[w:-w], 6 * x[w:-w] ** 5, atol=1e-11)
+
+    def test_constant_derivative_zero(self):
+        op = DerivativeOperator(32, 0.1, periodic=False)
+        assert np.abs(op(np.full(32, 7.0))).max() < 1e-12
+
+    def test_linear_exact_including_boundary(self):
+        n = 20
+        x = np.linspace(0, 1, n)
+        op = DerivativeOperator(n, x[1] - x[0], periodic=False)
+        np.testing.assert_allclose(op(3 * x + 1), 3.0, rtol=1e-10)
+
+    def test_multidimensional_axis(self):
+        nx, ny = 24, 32
+        x = np.linspace(0, 1, nx)
+        y = np.linspace(0, 2, ny)
+        xx, yy = np.meshgrid(x, y, indexing="ij")
+        f = np.sin(2 * xx) * np.cos(yy)
+        op_y = DerivativeOperator(ny, y[1] - y[0], periodic=False)
+        d = op_y.apply(f, axis=1)
+        np.testing.assert_allclose(d, -np.sin(2 * xx) * np.sin(yy), atol=1e-5)
+
+    def test_wrong_axis_length_raises(self):
+        op = DerivativeOperator(32, 0.1)
+        with pytest.raises(ValueError, match="axis 0"):
+            op(np.zeros(31))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            DerivativeOperator(5, 0.1)
+
+    def test_metric_array(self):
+        """Stretched coordinates via the metric reproduce chain rule."""
+        n = 64
+        s = np.linspace(0, 1, n)  # index-like coordinate
+        x = s**2 + s  # stretched physical coordinate
+        dxds = 2 * s + 1
+        op = DerivativeOperator(n, (1.0 / dxds) * (1 / (s[1] - s[0])), periodic=False)
+        f = np.sin(2 * x)
+        d = op(f)
+        np.testing.assert_allclose(d, 2 * np.cos(2 * x), atol=2e-4)
+
+    def test_metric_wrong_shape(self):
+        with pytest.raises(ValueError, match="metric"):
+            DerivativeOperator(32, np.ones(31))
+
+    def test_out_parameter(self):
+        op = DerivativeOperator(32, 0.5, periodic=True)
+        f = np.sin(np.arange(32) * 2 * np.pi / 32)
+        out = np.empty(32)
+        res = op.apply(f, axis=0, out=out)
+        assert res is out
+
+
+class TestGradientOperators:
+    def test_one_per_axis(self):
+        grid = Grid((32, 48), (1.0, 2.0), periodic=(True, False))
+        ops = gradient_operators(grid)
+        assert len(ops) == 2
+        assert ops[0].periodic and not ops[1].periodic
+
+    def test_gradient_on_stretched_grid(self):
+        grid = Grid((16, 64), (1.0, 2.0), periodic=(True, False), stretch=(1.0, 3.0))
+        ops = gradient_operators(grid)
+        xx, yy = grid.meshgrid()
+        f = yy**2
+        d = ops[1].apply(f, axis=1)
+        np.testing.assert_allclose(d, 2 * yy, rtol=1e-2, atol=1e-3)

@@ -1,0 +1,96 @@
+"""Tests for the ERK integrators: orders, low-storage equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.erk import ERKIntegrator, SCHEMES
+
+
+def _linear_exact(t):
+    """Solution of u' = -u + sin(t), u(0) = 1."""
+    return 1.5 * np.exp(-t) + 0.5 * (np.sin(t) - np.cos(t))
+
+
+def _rhs(t, u):
+    return -u + np.sin(t)
+
+
+class TestSchemes:
+    def test_registry(self):
+        assert set(SCHEMES) == {"rkf45", "ck45", "rk4"}
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown ERK scheme"):
+            ERKIntegrator("euler")
+
+    def test_stage_counts(self):
+        assert ERKIntegrator("rkf45").stages == 6
+        assert ERKIntegrator("ck45").stages == 5
+        assert ERKIntegrator("rk4").stages == 4
+
+    @pytest.mark.parametrize("name", ["rkf45", "ck45", "rk4"])
+    def test_fourth_order_convergence(self, name):
+        integ = ERKIntegrator(name)
+        errs = []
+        for ns in (40, 80, 160):
+            u = integ.integrate(_rhs, 0.0, np.array([1.0]), 2.0, ns)
+            errs.append(abs(u[0] - _linear_exact(2.0)))
+        orders = [math.log2(errs[i] / errs[i + 1]) for i in range(2)]
+        assert orders[-1] > 3.6, orders
+
+    @pytest.mark.parametrize("name", ["rkf45", "ck45", "rk4"])
+    def test_exact_on_constant_rhs(self, name):
+        integ = ERKIntegrator(name)
+        u = integ.integrate(lambda t, u: np.array([2.0]), 0.0, np.array([1.0]), 3.0, 7)
+        assert u[0] == pytest.approx(7.0, rel=1e-13)
+
+    def test_rkf45_embedded_error_estimate(self):
+        scheme = SCHEMES["rkf45"]()
+        u, err = scheme.step_with_error(_rhs, 0.0, np.array([1.0]), 0.1)
+        assert err is not None
+        # error estimate should be of the order of the true local error
+        fine = ERKIntegrator("rkf45").integrate(_rhs, 0.0, np.array([1.0]), 0.1, 100)
+        assert abs(err[0]) < 1e-5
+        assert abs(u[0] - fine[0]) < 1e-6
+
+    def test_lowstorage_err_none(self):
+        scheme = SCHEMES["ck45"]()
+        _, err = scheme.step_with_error(_rhs, 0.0, np.array([1.0]), 0.1)
+        assert err is None
+
+    def test_system_integration(self):
+        """Harmonic oscillator keeps energy to scheme accuracy."""
+        integ = ERKIntegrator("ck45")
+
+        def rhs(t, u):
+            return np.array([u[1], -u[0]])
+
+        u = integ.integrate(rhs, 0.0, np.array([1.0, 0.0]), 2 * np.pi, 200)
+        assert u[0] == pytest.approx(1.0, abs=1e-7)
+        assert u[1] == pytest.approx(0.0, abs=1e-7)
+
+    def test_multidimensional_state(self):
+        integ = ERKIntegrator("ck45")
+        u0 = np.ones((3, 4, 5))
+        u = integ.integrate(lambda t, u: -u, 0.0, u0, 1.0, 50)
+        np.testing.assert_allclose(u, np.exp(-1.0), rtol=1e-8)
+
+    def test_integrate_requires_steps(self):
+        with pytest.raises(ValueError):
+            ERKIntegrator("rk4").integrate(_rhs, 0.0, np.array([1.0]), 1.0, 0)
+
+    def test_lowstorage_does_not_mutate_input(self):
+        scheme = SCHEMES["ck45"]()
+        u0 = np.array([1.0, 2.0])
+        keep = u0.copy()
+        scheme.step(_rhs, 0.0, u0, 0.01)
+        np.testing.assert_array_equal(u0, keep)
+
+    def test_butcher_does_not_mutate_input(self):
+        scheme = SCHEMES["rkf45"]()
+        u0 = np.array([1.0, 2.0])
+        keep = u0.copy()
+        scheme.step(_rhs, 0.0, u0, 0.01)
+        np.testing.assert_array_equal(u0, keep)

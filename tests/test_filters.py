@@ -1,0 +1,107 @@
+"""Tests for the 10th-order explicit filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import FILTER_HALF_WIDTH, FilterOperator, filter_operators
+from repro.core.grid import Grid
+
+
+class TestFilterOperator:
+    def test_annihilates_nyquist_periodic(self):
+        n = 64
+        filt = FilterOperator(n, periodic=True, alpha=1.0)
+        nyquist = (-1.0) ** np.arange(n)
+        assert np.abs(filt(nyquist)).max() < 1e-13
+
+    def test_preserves_constants(self):
+        filt = FilterOperator(32, periodic=True, alpha=1.0)
+        np.testing.assert_allclose(filt(np.full(32, 3.0)), 3.0, rtol=1e-14)
+
+    def test_preserves_constants_nonperiodic(self):
+        filt = FilterOperator(32, periodic=False, alpha=1.0)
+        np.testing.assert_allclose(filt(np.full(32, 3.0)), 3.0, rtol=1e-14)
+
+    def test_smooth_modes_nearly_untouched(self):
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        filt = FilterOperator(n, periodic=True, alpha=1.0)
+        f = np.sin(2 * x)
+        assert np.abs(filt(f) - f).max() < 1e-5
+
+    def test_damping_monotone_in_wavenumber(self):
+        """Higher wavenumbers are damped more."""
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        filt = FilterOperator(n, periodic=True, alpha=1.0)
+        damps = []
+        for k in (2, 8, 16, 24):
+            f = np.sin(k * x)
+            damps.append(np.abs(filt(f) - f).max())
+        assert damps == sorted(damps)
+
+    def test_alpha_scales_correction(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        f = rng.random(n)
+        full = FilterOperator(n, periodic=True, alpha=1.0)
+        half = FilterOperator(n, periodic=True, alpha=0.5)
+        np.testing.assert_allclose(f - half(f), 0.5 * (f - full(f)), rtol=1e-12)
+
+    def test_alpha_range_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            FilterOperator(32, alpha=1.5)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            FilterOperator(2 * FILTER_HALF_WIDTH)
+
+    def test_boundary_points_identity_at_edge(self):
+        """The outermost point is never filtered (non-periodic)."""
+        n = 32
+        rng = np.random.default_rng(1)
+        f = rng.random(n)
+        filt = FilterOperator(n, periodic=False, alpha=1.0)
+        g = filt(f)
+        assert g[0] == f[0]
+        assert g[-1] == f[-1]
+
+    def test_near_boundary_rows_preserve_linear(self):
+        """Reduced-order boundary filters still pass linear functions."""
+        n = 32
+        x = np.linspace(0.0, 1.0, n)
+        filt = FilterOperator(n, periodic=False, alpha=1.0)
+        np.testing.assert_allclose(filt(2 * x + 1), 2 * x + 1, atol=1e-13)
+
+    def test_near_boundary_damps_oscillation(self):
+        n = 32
+        f = (-1.0) ** np.arange(n)
+        filt = FilterOperator(n, periodic=False, alpha=1.0)
+        g = filt(f)
+        # rows 1..4 use reduced filters that still kill the Nyquist mode
+        assert np.abs(g[1:5]).max() < 1e-12
+
+    def test_wrong_length_raises(self):
+        filt = FilterOperator(32)
+        with pytest.raises(ValueError):
+            filt(np.zeros(30))
+
+    def test_multidimensional(self):
+        filt = FilterOperator(32, periodic=True)
+        f = np.random.default_rng(2).random((16, 32))
+        g = filt.apply(f, axis=1)
+        assert g.shape == f.shape
+
+    def test_idempotent_on_filtered_constants(self):
+        filt = FilterOperator(64, periodic=True)
+        f = np.full(64, 2.5)
+        np.testing.assert_allclose(filt(filt(f)), f)
+
+
+class TestFilterOperators:
+    def test_factory(self):
+        grid = Grid((32, 48), (1.0, 1.0), periodic=(True, False))
+        ops = filter_operators(grid, alpha=0.3)
+        assert len(ops) == 2
+        assert ops[0].periodic and not ops[1].periodic
+        assert ops[0].alpha == 0.3

@@ -1,0 +1,76 @@
+"""Tests for structured grids."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+
+
+class TestGrid:
+    def test_periodic_spacing_excludes_endpoint(self):
+        g = Grid((10,), (1.0,), periodic=(True,))
+        assert g.spacing(0) == pytest.approx(0.1)
+        assert g.coords[0][-1] == pytest.approx(0.9)
+
+    def test_nonperiodic_includes_endpoints(self):
+        g = Grid((11,), (1.0,), periodic=(False,))
+        assert g.spacing(0) == pytest.approx(0.1)
+        assert g.coords[0][-1] == pytest.approx(1.0)
+
+    def test_dimension_limits(self):
+        with pytest.raises(ValueError):
+            Grid((4, 4, 4, 4), (1, 1, 1, 1))
+
+    def test_lengths_mismatch(self):
+        with pytest.raises(ValueError):
+            Grid((8, 8), (1.0,))
+
+    def test_stretched_refines_center(self):
+        g = Grid((65,), (1.0,), stretch=(3.0,))
+        d = np.diff(g.coords[0])
+        center = d[len(d) // 2]
+        edge = d[0]
+        assert center < edge
+        assert edge / center == pytest.approx(3.0, rel=0.35)
+
+    def test_stretched_periodic_rejected(self):
+        with pytest.raises(ValueError, match="stretched"):
+            Grid((16,), (1.0,), periodic=(True,), stretch=(2.0,))
+
+    def test_stretch_spans_full_length(self):
+        g = Grid((33,), (2.0,), stretch=(4.0,))
+        assert g.coords[0][0] == pytest.approx(0.0, abs=1e-12)
+        assert g.coords[0][-1] == pytest.approx(2.0, rel=1e-12)
+
+    def test_spacing_on_stretched_raises(self):
+        g = Grid((33,), (1.0,), stretch=(2.0,))
+        with pytest.raises(ValueError, match="stretched"):
+            g.spacing(0)
+
+    def test_meshgrid_shapes(self):
+        g = Grid((4, 6, 8), (1, 2, 3), periodic=(True, True, True))
+        mesh = g.meshgrid()
+        assert len(mesh) == 3
+        assert all(m.shape == (4, 6, 8) for m in mesh)
+
+    def test_n_points(self):
+        assert Grid((4, 5), (1, 1), periodic=(True, True)).n_points == 20
+
+    def test_cell_volumes_sum_to_domain(self):
+        g = Grid((16, 20), (2.0, 3.0), periodic=(True, False))
+        assert g.cell_volumes().sum() == pytest.approx(6.0, rel=1e-12)
+
+    def test_cell_volumes_stretched(self):
+        g = Grid((41,), (1.0,), stretch=(3.0,))
+        assert g.cell_volumes().sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_min_spacing(self):
+        g = Grid((11,), (1.0,))
+        assert g.min_spacing == pytest.approx(0.1)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Grid((1,), (1.0,))
+
+    def test_repr(self):
+        assert "shape=(8,)" in repr(Grid((8,), (1.0,)))

@@ -1,0 +1,235 @@
+"""Tests for reaction kinetics: conservation laws, equilibrium, falloff."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import Arrhenius, Falloff, Reaction, ThirdBody
+from repro.chemistry.kinetics import KineticsEvaluator
+from repro.util.constants import P_ATM, RU
+
+
+class TestArrhenius:
+    def test_constant_rate(self):
+        k = Arrhenius(A=5.0)
+        assert k(300.0) == pytest.approx(5.0)
+
+    def test_temperature_exponent(self):
+        k = Arrhenius(A=2.0, n=1.0)
+        assert k(400.0) == pytest.approx(800.0)
+
+    def test_activation_energy(self):
+        k = Arrhenius(A=1.0, Ea=RU * 1000.0)
+        assert k(1000.0) == pytest.approx(np.exp(-1.0))
+
+    def test_vectorized(self):
+        k = Arrhenius(A=1.0, n=2.0)
+        np.testing.assert_allclose(k(np.array([1.0, 2.0])), [1.0, 4.0])
+
+
+class TestReaction:
+    def test_equation_string(self):
+        r = Reaction((("H", 1), ("O2", 1)), (("OH", 1), ("O", 1)), Arrhenius(1.0))
+        assert r.equation == "H + O2 <=> OH + O"
+
+    def test_equation_third_body(self):
+        r = Reaction((("H2", 1),), (("H", 2),), Arrhenius(1.0),
+                     third_body=ThirdBody())
+        assert "+ M" in r.equation
+
+    def test_order(self):
+        r = Reaction((("A", 1), ("B", 2)), (("C", 1),), Arrhenius(1.0))
+        assert r.order() == 3
+
+
+def _simple_system():
+    """A <-> B with known thermo for analytic equilibrium."""
+    from repro.chemistry.thermo import Nasa7, ThermoTable
+
+    # two species with cp = 3.5 Ru, differing only in formation enthalpy
+    def fit(h0_over_r, s0):
+        return Nasa7(200.0, 1000.0, 3500.0,
+                     (3.5, 0, 0, 0, 0, h0_over_r, s0),
+                     (3.5, 0, 0, 0, 0, h0_over_r, s0))
+
+    thermo = ThermoTable([fit(0.0, 0.0), fit(-500.0, 0.0)])
+    rxn = Reaction((("A", 1),), (("B", 1),), Arrhenius(A=1e3), reversible=True)
+    return KineticsEvaluator(["A", "B"], [rxn], thermo)
+
+
+class TestEquilibrium:
+    def test_unimolecular_kc(self):
+        """Kc = exp(-dG/RT); for equal-entropy species, exp(dH0/RuT)."""
+        ev = _simple_system()
+        T = np.array([800.0])
+        kc = ev.equilibrium_constants(T)[0]
+        # dh = -500*Ru (B lower), so Kc = exp(500/T)
+        assert kc[0] == pytest.approx(np.exp(500.0 / 800.0), rel=1e-10)
+
+    def test_net_rate_vanishes_at_equilibrium(self):
+        ev = _simple_system()
+        T = np.array([900.0])
+        kc = float(ev.equilibrium_constants(T)[0][0])
+        total = 10.0
+        cb = total * kc / (1 + kc)
+        C = np.array([[total - cb], [cb]])
+        q = ev.rates_of_progress(T, C)
+        assert abs(q[0, 0]) < 1e-8 * total
+
+
+class TestConservation:
+    def test_mass_conservation(self, h2_mech):
+        rng = np.random.default_rng(42)
+        Y = rng.random((h2_mech.n_species, 20))
+        Y /= Y.sum(axis=0)
+        T = np.linspace(800.0, 2500.0, 20)
+        rho = np.linspace(0.1, 2.0, 20)
+        wdot = h2_mech.production_rates(rho, T, Y)
+        scale = np.abs(wdot).max()
+        assert np.abs(wdot.sum(axis=0)).max() <= 1e-10 * max(scale, 1.0)
+
+    def test_element_conservation(self, h2_mech):
+        rng = np.random.default_rng(7)
+        Y = rng.random((h2_mech.n_species, 10))
+        Y /= Y.sum(axis=0)
+        T = np.linspace(900.0, 2200.0, 10)
+        wdot_molar = h2_mech.production_rates(1.0, T, Y) / h2_mech.weights[:, None]
+        el = h2_mech.element_matrix @ wdot_molar
+        scale = np.abs(wdot_molar).max()
+        assert np.abs(el).max() <= 1e-9 * max(scale, 1.0)
+
+    def test_inert_mixture_no_production(self, h2_mech):
+        """Pure N2 produces nothing."""
+        Y = np.zeros((h2_mech.n_species, 3))
+        Y[h2_mech.index("N2")] = 1.0
+        wdot = h2_mech.production_rates(1.0, np.full(3, 1500.0), Y)
+        assert np.abs(wdot).max() < 1e-12
+
+
+class TestFalloff:
+    def test_lindemann_limits(self):
+        """k -> k0[M] at low pressure, k_inf at high pressure."""
+        f = Falloff(low=Arrhenius(A=1e6))
+        kinf = Arrhenius(A=1e3)
+        T = np.array([1000.0])
+        k0 = 1e6  # constant low-pressure rate
+        for m in (1e-9, 1e9):
+            pr = k0 * m / 1e3
+            blend = 1e3 * pr / (1 + pr) * float(np.asarray(f.broadening(T, np.array([pr]))).ravel()[0])
+            if m < 1:
+                assert blend == pytest.approx(k0 * m, rel=1e-3)
+            else:
+                assert blend == pytest.approx(1e3, rel=1e-3)
+
+    def test_constant_fcent_broadening_at_center(self):
+        """At Pr = 1, F = Fcent^(1/(1+f1^2)) with f1 evaluated at log Pr=0."""
+        f = Falloff(low=Arrhenius(A=1.0), fcent=0.8)
+        F = f.broadening(np.array([1000.0]), np.array([1.0]))
+        assert 0.8 <= F[0] <= 1.0
+
+    def test_troe_form_temperature_dependence(self):
+        f = Falloff(low=Arrhenius(A=1.0), troe=(0.5, 100.0, 2000.0))
+        F1 = f.broadening(np.array([500.0]), np.array([1.0]))
+        F2 = f.broadening(np.array([2000.0]), np.array([1.0]))
+        assert F1[0] != F2[0]
+        assert 0.0 < F1[0] <= 1.0
+
+    def test_h2_falloff_pressure_dependence(self, h2_mech):
+        """H+O2(+M)=HO2(+M) rate grows with pressure at fixed T."""
+        ev = h2_mech.kinetics
+        j = next(
+            i for i, r in enumerate(ev.reactions)
+            if r.falloff is not None and ("HO2", 1) in r.products
+        )
+        T = np.array([1000.0])
+        Y = np.zeros((h2_mech.n_species, 1))
+        Y[h2_mech.index("H2")] = 0.3
+        Y[h2_mech.index("O2")] = 0.7
+        k_low = ev.forward_rate_constants(T, h2_mech.concentrations(0.01, Y))[j]
+        k_high = ev.forward_rate_constants(T, h2_mech.concentrations(10.0, Y))[j]
+        assert k_high[0] > k_low[0]
+
+
+class TestThirdBody:
+    def test_efficiency_weighting(self, h2_mech):
+        ev = h2_mech.kinetics
+        # find H2 + M <=> H + H + M
+        j = next(
+            i for i, r in enumerate(ev.reactions)
+            if r.third_body is not None and r.falloff is None
+            and r.reactants == (("H2", 1),)
+        )
+        C = np.zeros((h2_mech.n_species, 1))
+        C[h2_mech.index("H2O")] = 1.0
+        m_h2o = ev._third_body_conc(j, C)
+        C2 = np.zeros_like(C)
+        C2[h2_mech.index("N2")] = 1.0
+        m_n2 = ev._third_body_conc(j, C2)
+        assert m_h2o[0] == pytest.approx(12.0 * m_n2[0])
+
+
+class TestProductionRates:
+    def test_ignition_direction(self, h2_mech, h2_air_stoich):
+        """Hot stoichiometric mixture consumes H2 and O2."""
+        T = np.array([1500.0])
+        Y = h2_air_stoich[:, None]
+        rho = h2_mech.density(P_ATM, T, Y)
+        wdot = h2_mech.production_rates(rho, T, Y)
+        assert wdot[h2_mech.index("H2")][0] < 0
+        assert wdot[h2_mech.index("O2")][0] < 0
+
+    def test_heat_release_positive_during_burn(self, h2_mech, h2_air_stoich):
+        """Net heat release is positive once runaway is under way.
+
+        (During the induction phase the endothermic branching
+        H + O2 -> O + OH keeps net heat release near zero or negative —
+        real H2 chemistry.) We sample a const-pressure reactor mid-runaway.
+        """
+        from repro.chemistry import ConstPressureReactor
+
+        reactor = ConstPressureReactor(h2_mech, P_ATM)
+        t, T, Y = reactor.integrate(1200.0, h2_air_stoich, 1e-3, n_out=400)
+        k = int(np.argmax(T >= 1800.0))  # mid-temperature-rise sample
+        Yk = np.clip(Y[:, k], 0, 1)[:, None]
+        Tk = np.array([T[k]])
+        rho = h2_mech.density(P_ATM, Tk, Yk)
+        q = h2_mech.heat_release_rate(rho, Tk, Yk)
+        assert q[0] > 0
+
+    def test_initiation_is_endothermic(self, h2_mech, h2_air_stoich):
+        """Zero-radical hot reactants: dissociation dominates, q < 0."""
+        T = np.array([1600.0])
+        Y = h2_air_stoich[:, None]
+        rho = h2_mech.density(P_ATM, T, Y)
+        q = h2_mech.heat_release_rate(rho, T, Y)
+        assert q[0] < 0
+
+    def test_cold_mixture_is_frozen(self, h2_mech, h2_air_stoich):
+        T = np.array([300.0])
+        Y = h2_air_stoich[:, None]
+        rho = h2_mech.density(P_ATM, T, Y)
+        wdot = h2_mech.production_rates(rho, T, Y)
+        # utterly negligible at room temperature
+        assert np.abs(wdot).max() < 1e-6
+
+    def test_duplicate_reactions_sum(self, h2_mech):
+        """HO2+HO2 channels both contribute (duplicate pair present)."""
+        dups = [r for r in h2_mech.reactions if r.duplicate]
+        assert len(dups) == 4  # two duplicate pairs in Li 2004
+
+    def test_orders_override(self):
+        """FORD-style orders change effective concentration dependence."""
+        from repro.chemistry.mechanisms.builders import make_species
+        from repro.chemistry.mechanism import Mechanism
+
+        sp = [make_species(n) for n in ("CH4", "O2", "CO2", "H2O", "N2")]
+        rxn = Reaction(
+            (("CH4", 1), ("O2", 2)), (("CO2", 1), ("H2O", 2)),
+            Arrhenius(A=1.0), reversible=False, orders=(("CH4", 1.0), ("O2", 0.5)),
+        )
+        mech = Mechanism(sp, [rxn])
+        T = np.array([1000.0])
+        C = np.zeros((5, 1))
+        C[0] = 2.0
+        C[1] = 4.0
+        q = mech.kinetics.rates_of_progress(T, C)
+        assert q[0, 0] == pytest.approx(2.0 * 4.0**0.5)

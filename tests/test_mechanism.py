@@ -1,0 +1,128 @@
+"""Tests for the Mechanism container: EOS, mixture rules, energy inversion."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.mechanisms.builders import make_species
+from repro.util.constants import P_ATM, RU
+
+
+class TestComposition:
+    def test_mean_weight_air(self, air_mech, air_y):
+        w = air_mech.mean_weight(air_y)
+        assert w == pytest.approx(28.85e-3, rel=2e-3)
+
+    def test_mass_mole_roundtrip(self, h2_mech):
+        rng = np.random.default_rng(3)
+        Y = rng.random((h2_mech.n_species, 6))
+        Y /= Y.sum(axis=0)
+        X = h2_mech.mass_to_mole(Y)
+        Y2 = h2_mech.mole_to_mass(X)
+        np.testing.assert_allclose(Y2, Y, rtol=1e-12)
+
+    def test_mole_fractions_sum_to_one(self, h2_mech):
+        rng = np.random.default_rng(4)
+        Y = rng.random((h2_mech.n_species, 5))
+        Y /= Y.sum(axis=0)
+        X = h2_mech.mass_to_mole(Y)
+        np.testing.assert_allclose(X.sum(axis=0), 1.0, rtol=1e-12)
+
+    def test_concentrations(self, air_mech, air_y):
+        C = air_mech.concentrations(1.2, air_y)
+        # total molar concentration = rho / W
+        assert C.sum() == pytest.approx(1.2 / air_mech.mean_weight(air_y))
+
+    def test_mass_fractions_from_rejects_bad_sum(self, air_mech):
+        with pytest.raises(ValueError, match="sum to 1"):
+            air_mech.mass_fractions_from({"O2": 0.5})
+
+    def test_element_mass_fractions_sum_to_one(self, h2_mech):
+        rng = np.random.default_rng(5)
+        Y = rng.random((h2_mech.n_species, 4))
+        Y /= Y.sum(axis=0)
+        Z = h2_mech.element_mass_fractions(Y)
+        np.testing.assert_allclose(Z.sum(axis=0), 1.0, rtol=1e-10)
+
+    def test_duplicate_species_rejected(self):
+        sp = [make_species("O2"), make_species("O2")]
+        with pytest.raises(ValueError, match="duplicate"):
+            Mechanism(sp)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism([])
+
+
+class TestEOS:
+    def test_air_density_at_stp(self, air_mech, air_y):
+        rho = air_mech.density(P_ATM, 273.15, air_y)
+        assert rho == pytest.approx(1.292, rel=5e-3)
+
+    def test_pressure_density_roundtrip(self, h2_mech, h2_air_stoich):
+        rho = h2_mech.density(2e5, 700.0, h2_air_stoich)
+        p = h2_mech.pressure(rho, 700.0, h2_air_stoich)
+        assert p == pytest.approx(2e5, rel=1e-12)
+
+    def test_gas_constant(self, air_mech, air_y):
+        r = air_mech.gas_constant(air_y)
+        assert r == pytest.approx(288.0, rel=2e-3)
+
+    def test_sound_speed_air(self, air_mech, air_y):
+        a = air_mech.sound_speed(np.array(300.0), air_y)
+        assert float(a) == pytest.approx(347.0, rel=0.01)
+
+
+class TestCaloric:
+    def test_cp_cv_relation(self, h2_mech, h2_air_stoich):
+        T = np.array([600.0])
+        cp = h2_mech.cp_mass(T, h2_air_stoich[:, None])
+        cv = h2_mech.cv_mass(T, h2_air_stoich[:, None])
+        r = h2_mech.gas_constant(h2_air_stoich[:, None])
+        assert (cp - cv)[0] == pytest.approx(r[0], rel=1e-12)
+
+    def test_enthalpy_energy_relation(self, air_mech, air_y):
+        T = np.array([900.0])
+        h = air_mech.enthalpy_mass(T, air_y[:, None])
+        e = air_mech.int_energy_mass(T, air_y[:, None])
+        r = air_mech.gas_constant(air_y[:, None])
+        assert (h - e)[0] == pytest.approx(r[0] * 900.0, rel=1e-12)
+
+    def test_temperature_from_energy_roundtrip(self, h2_mech, h2_air_stoich):
+        T = np.array([450.0, 1350.0, 2400.0])
+        Y = np.repeat(h2_air_stoich[:, None], 3, axis=1)
+        e = h2_mech.int_energy_mass(T, Y)
+        T2 = h2_mech.temperature_from_energy(e, Y)
+        np.testing.assert_allclose(T2, T, rtol=1e-8)
+
+    def test_temperature_from_enthalpy_roundtrip(self, h2_mech, h2_air_stoich):
+        T = np.array([500.0, 1800.0])
+        Y = np.repeat(h2_air_stoich[:, None], 2, axis=1)
+        h = h2_mech.enthalpy_mass(T, Y)
+        T2 = h2_mech.temperature_from_enthalpy(h, Y)
+        np.testing.assert_allclose(T2, T, rtol=1e-8)
+
+    def test_newton_uses_guess(self, air_mech, air_y):
+        """Converges from a provided nearby guess."""
+        T = np.array([1234.5])
+        e = air_mech.int_energy_mass(T, air_y[:, None])
+        T2 = air_mech.temperature_from_energy(e, air_y[:, None], T_guess=np.array([1200.0]))
+        assert T2[0] == pytest.approx(1234.5, rel=1e-8)
+
+    def test_cp_air_value(self, air_mech, air_y):
+        cp = air_mech.cp_mass(np.array(300.0), air_y)
+        assert float(cp) == pytest.approx(1005.0, rel=0.01)
+
+
+class TestAdiabaticFlameTemperature:
+    def test_h2_air_constant_pressure(self, h2_mech, h2_air_stoich):
+        """Equilibrium-ish check: burning to near-complete H2O at constant
+        enthalpy gives the textbook ~2400 K adiabatic flame temperature."""
+        from repro.chemistry import ConstPressureReactor
+
+        reactor = ConstPressureReactor(h2_mech, P_ATM)
+        t, T, Y = reactor.integrate(1100.0, h2_air_stoich, 5e-3, n_out=100)
+        # started preheated at 1100 K; flame temperature should approach
+        # the adiabatic value for those reactants (> 2500 K) and level off
+        assert T[-1] > 2400.0
+        assert abs(T[-1] - T[-2]) < 5.0

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: EOS round-trips, mixture rules, layout bijectivity, cache
+semantics, decomposition coverage, filter/derivative identities,
+conditional statistics, brushing monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.chemistry.mechanisms import air, h2_li2004
+from repro.core.derivatives import DerivativeOperator, fornberg_weights
+from repro.core.filters import FilterOperator
+from repro.io.layout import BlockLayout
+from repro.loopopt.cache import CacheSim
+from repro.parallel.decomp import CartesianDecomposition, block_range
+from repro.analysis.conditional import conditional_mean
+from repro.viz.parallel_coords import ParallelCoordinates
+
+MECH = h2_li2004()
+AIR = air()
+
+composition = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=9, max_size=9
+).map(lambda v: np.array(v) / np.sum(v))
+
+temperature = st.floats(min_value=250.0, max_value=2800.0)
+pressure = st.floats(min_value=1e4, max_value=5e6)
+
+
+class TestChemistryProperties:
+    @given(Y=composition, T=temperature, p=pressure)
+    @settings(max_examples=50, deadline=None)
+    def test_eos_roundtrip(self, Y, T, p):
+        rho = MECH.density(p, T, Y)
+        assert MECH.pressure(rho, T, Y) == pytest.approx(p, rel=1e-12)
+
+    @given(Y=composition)
+    @settings(max_examples=50, deadline=None)
+    def test_mass_mole_roundtrip(self, Y):
+        X = MECH.mass_to_mole(Y)
+        np.testing.assert_allclose(MECH.mole_to_mass(X), Y, rtol=1e-10)
+        assert X.sum() == pytest.approx(1.0, rel=1e-10)
+
+    @given(Y=composition, T=temperature)
+    @settings(max_examples=50, deadline=None)
+    def test_cp_exceeds_cv(self, Y, T):
+        cp = MECH.cp_mass(np.asarray(T), Y)
+        cv = MECH.cv_mass(np.asarray(T), Y)
+        assert float(cp) > float(cv) > 0
+
+    @given(Y=composition, T=temperature)
+    @settings(max_examples=30, deadline=None)
+    def test_temperature_energy_roundtrip(self, Y, T):
+        e = MECH.int_energy_mass(np.array([T]), Y[:, None])
+        T2 = MECH.temperature_from_energy(e, Y[:, None])
+        assert T2[0] == pytest.approx(T, rel=1e-7)
+
+    @given(Y=composition, T=st.floats(min_value=700.0, max_value=2500.0),
+           rho=st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_production_rates_conserve_mass(self, Y, T, rho):
+        w = MECH.production_rates(rho, np.array([T]), Y[:, None])
+        scale = max(np.abs(w).max(), 1e-30)
+        assert abs(w.sum()) <= 1e-10 * max(scale, 1.0)
+
+
+class TestNumericsProperties:
+    @given(
+        n=st.integers(min_value=12, max_value=64),
+        c=st.floats(min_value=-5.0, max_value=5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_derivative_kills_constants(self, n, c):
+        op = DerivativeOperator(n, 0.1, periodic=False)
+        assert np.abs(op(np.full(n, c))).max() < 1e-11 * max(abs(c), 1.0)
+
+    @given(
+        n=st.integers(min_value=12, max_value=64),
+        a=st.floats(min_value=-3.0, max_value=3.0),
+        b=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_derivative_exact_on_linear(self, n, a, b):
+        x = np.linspace(0.0, 1.0, n)
+        op = DerivativeOperator(n, x[1] - x[0], periodic=False)
+        d = op(a * x + b)
+        np.testing.assert_allclose(d, a, atol=1e-9 * (abs(a) + abs(b) + 1))
+
+    @given(
+        n=st.integers(min_value=11, max_value=48),
+        c=st.floats(min_value=-4.0, max_value=4.0),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_filter_preserves_constants(self, n, c, alpha):
+        for periodic in (True, False):
+            filt = FilterOperator(n, periodic=periodic, alpha=alpha)
+            np.testing.assert_allclose(filt(np.full(n, c)), c,
+                                       atol=1e-12 * (abs(c) + 1))
+
+    @given(hnp.arrays(np.float64, st.integers(min_value=16, max_value=48),
+                      elements=st.floats(min_value=-10, max_value=10)))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_contracts_every_fourier_mode(self, f):
+        """The periodic filter damps every Fourier mode: |g_hat(k)| <=
+        |f_hat(k)| for all k (its transfer function lies in [0, 1]).
+
+        (It is NOT a max-norm contraction — the operator's inf-norm is
+        2 — so the spectral statement is the right invariant.)
+        """
+        filt = FilterOperator(len(f), periodic=True, alpha=1.0)
+        g = filt(f)
+        fh = np.abs(np.fft.rfft(f))
+        gh = np.abs(np.fft.rfft(g))
+        assert np.all(gh <= fh + 1e-9 * (1.0 + fh))
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_fornberg_partition_of_unity(self, npts, which):
+        """Interpolation weights sum to 1; derivative weights sum to 0."""
+        z = min(which, npts - 1) + 0.3
+        w = fornberg_weights(z, np.arange(npts, dtype=float), 1)
+        assert w[0].sum() == pytest.approx(1.0, abs=1e-9)
+        assert w[1].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDecompositionProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        parts=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_block_range_partition(self, n, parts):
+        parts = min(parts, n)
+        ranges = [block_range(n, parts, i) for i in range(parts)]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        nx=st.integers(min_value=4, max_value=20),
+        ny=st.integers(min_value=4, max_value=20),
+        px=st.integers(min_value=1, max_value=4),
+        py=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_gather_identity(self, nx, ny, px, py):
+        px, py = min(px, nx), min(py, ny)
+        d = CartesianDecomposition((nx, ny), (px, py))
+        a = np.random.default_rng(0).random((nx, ny))
+        np.testing.assert_array_equal(d.gather(d.scatter(a)), a)
+
+
+class TestLayoutProperties:
+    @given(
+        nx=st.integers(min_value=2, max_value=8),
+        ny=st.integers(min_value=2, max_value=8),
+        nz=st.integers(min_value=2, max_value=6),
+        px=st.integers(min_value=1, max_value=2),
+        py=st.integers(min_value=1, max_value=2),
+        m=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_runs_are_a_bijection(self, nx, ny, nz, px, py, m):
+        layout = BlockLayout((nx * px, ny * py, nz), (px, py, 1), fourth_dim=m)
+        seen = np.zeros(layout.total_bytes // 8, dtype=int)
+        for rank in range(layout.n_ranks):
+            for off, x0, y, z, mm, lx in layout.local_runs(rank):
+                seen[off // 8 : off // 8 + lx] += 1
+        assert np.all(seen == 1)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                    max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_consistent(self, addrs):
+        sim = CacheSim(size_bytes=1 << 12, line_bytes=64, associativity=4)
+        for a in addrs:
+            sim.access(a)
+        s = sim.stats
+        assert s.hits + s.misses == s.accesses == len(addrs)
+        assert 0.0 <= s.miss_rate <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), min_size=2,
+                    max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rereference_hits(self, addrs):
+        sim = CacheSim(size_bytes=1 << 12, line_bytes=64, associativity=4)
+        for a in addrs:
+            sim.access(a)
+            assert sim.access(a) is True  # just-touched line must hit
+
+
+class TestStatisticsProperties:
+    @given(hnp.arrays(np.float64, st.integers(min_value=10, max_value=300),
+                      elements=st.floats(min_value=-100, max_value=100)))
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_mean_counts(self, x):
+        centers, mean, std, count = conditional_mean(x, x, bins=8)
+        assert count.sum() == x.size
+        # where defined, conditioning a variable on itself stays in-bin
+        width = centers[1] - centers[0]
+        ok = ~np.isnan(mean)
+        assert np.all(np.abs(mean[ok] - centers[ok]) <= width)
+
+    @given(
+        lo=st.floats(min_value=0.0, max_value=0.5),
+        width=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_brushing_monotone(self, lo, width):
+        """Narrowing a brush never grows the selection."""
+        rng = np.random.default_rng(1)
+        pc = ParallelCoordinates({"a": rng.random((10, 10))})
+        pc.brush("a", lo, lo + width)
+        narrow = pc.selection().sum()
+        pc.brush("a", lo, lo + width / 2)
+        narrower = pc.selection().sum()
+        assert narrower <= narrow

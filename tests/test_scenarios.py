@@ -1,0 +1,98 @@
+"""Tests for the scaled DNS scenario builders (construction + short
+advancement; the full physics checks live in the benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    bunsen_mixture,
+    fuel_and_coflow,
+    lifted_jet,
+    premixed_flame_box,
+)
+from repro.chemistry import ch4_twostep
+
+
+class TestStreams:
+    def test_fuel_composition(self):
+        from repro.chemistry import h2_li2004
+
+        mech = h2_li2004()
+        y_fuel, y_air = fuel_and_coflow(mech)
+        assert y_fuel.sum() == pytest.approx(1.0)
+        assert y_air.sum() == pytest.approx(1.0)
+        X = mech.mass_to_mole(y_fuel)
+        assert X[mech.index("H2")] == pytest.approx(0.65, rel=1e-9)
+
+    def test_bunsen_equivalence_ratio(self):
+        mech = ch4_twostep()
+        Y = bunsen_mixture(mech, phi=0.7)
+        X = mech.mass_to_mole(Y)
+        # phi = 2 X_CH4 / X_O2 for CH4 + 2 O2
+        phi = 2 * X[mech.index("CH4")] / X[mech.index("O2")]
+        assert phi == pytest.approx(0.7, rel=1e-2)
+
+
+class TestLiftedJet:
+    def test_initial_state_sane(self):
+        solver, info = lifted_jet(nx=32, ny=24, lx=2e-3, ly=1.5e-3)
+        rho, vel, T, p, Y, _ = solver.state.primitives()
+        assert T.min() > 350.0 and T.max() < 1350.0
+        assert vel[0].max() > 30.0  # jet core
+        np.testing.assert_allclose(Y.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_short_advance_stable(self):
+        solver, info = lifted_jet(nx=32, ny=24, lx=2e-3, ly=1.5e-3)
+        for _ in range(10):
+            solver.step()
+        _, _, T, p, _, _ = solver.state.primitives()
+        assert np.isfinite(T).all()
+        assert T.max() < 2000.0  # no spurious early ignition
+
+    def test_inflow_holds(self):
+        """The jet core at the inflow stays pinned; the transverse filter
+        may smooth the shear layers slightly (bounded erosion)."""
+        solver, info = lifted_jet(nx=32, ny=24, lx=2e-3, ly=1.5e-3, fluct=0.0)
+        u_in = solver.state.primitives()[1][0][0].copy()
+        for _ in range(10):
+            solver.step()
+        u_now = solver.state.primitives()[1][0][0]
+        core = np.argmax(u_in)
+        assert u_now[core] == pytest.approx(u_in[core], rel=1e-2)
+        assert np.abs(u_now - u_in).max() < 0.15 * u_in.max()
+
+
+class TestPremixedBox:
+    @pytest.fixture(scope="class")
+    def box(self):
+        mech = ch4_twostep()
+        y_b = np.zeros(mech.n_species)
+        y_b[mech.index("CO2")] = 0.10
+        y_b[mech.index("H2O")] = 0.09
+        y_b[mech.index("N2")] = 0.81
+        return premixed_flame_box(
+            u_rms_over_sl=3.0, sl=3.3, delta_l=4.3e-4, t_burned=2230.0,
+            y_burned=y_b, n=32, seed=0,
+        )
+
+    def test_two_fronts_present(self, box):
+        solver, info = box
+        _, _, T, _, _, _ = solver.state.primitives()
+        mid = T[:, T.shape[1] // 2]
+        edge = T[:, 0]
+        assert mid.mean() < 900.0     # fresh band is cold
+        assert edge.mean() > 2000.0   # products outside
+
+    def test_velocity_rms_matches(self, box):
+        solver, info = box
+        _, vel, _, _, _, _ = solver.state.primitives()
+        rms = np.sqrt(np.mean([np.mean((v - v.mean()) ** 2) for v in vel]))
+        assert rms == pytest.approx(3.0 * 3.3, rel=0.05)
+
+    def test_short_advance_stable(self, box):
+        solver, info = box
+        for _ in range(5):
+            solver.step()
+        _, _, T, _, _, _ = solver.state.primitives()
+        assert np.isfinite(T).all()
+        assert 600.0 < T.max() < 3200.0

@@ -1,0 +1,89 @@
+"""Tests for conserved-variable state and primitive recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, State
+from repro.util.constants import P_ATM
+
+
+@pytest.fixture
+def small_grid():
+    return Grid((12, 16), (1e-3, 1e-3), periodic=(True, True))
+
+
+class TestStateLayout:
+    def test_variable_count(self, h2_mech, small_grid):
+        st = State(h2_mech, small_grid)
+        # rho + 2 momenta + energy + (Ns-1) species
+        assert st.nvar == 2 + 2 + (h2_mech.n_species - 1)
+        assert st.u.shape == (st.nvar, 12, 16)
+
+    def test_indices_distinct(self, h2_mech, small_grid):
+        st = State(h2_mech, small_grid)
+        idx = [st.i_rho, st.i_mom(0), st.i_mom(1), st.i_energy]
+        idx += [st.i_species(k) for k in range(st.n_transported)]
+        assert len(set(idx)) == st.nvar
+
+    def test_wrong_shape_rejected(self, h2_mech, small_grid):
+        with pytest.raises(ValueError, match="shape"):
+            State(h2_mech, small_grid, u=np.zeros((3, 12, 16)))
+
+    def test_variable_names(self, h2_mech, small_grid):
+        names = State(h2_mech, small_grid).variable_names()
+        assert names[0] == "rho"
+        assert "rho_Y_H2" in names
+        assert "rho_Y_N2" not in names  # last species not transported
+
+
+class TestPrimitiveRoundtrip:
+    def test_roundtrip(self, h2_mech, small_grid, h2_air_stoich):
+        rng = np.random.default_rng(0)
+        shape = small_grid.shape
+        T = 500.0 + 1000.0 * rng.random(shape)
+        u0 = 10.0 * rng.standard_normal(shape)
+        v0 = 10.0 * rng.standard_normal(shape)
+        Y = h2_air_stoich[:, None, None] * np.ones((1,) + shape)
+        rho = h2_mech.density(P_ATM, T, Y)
+        st = State.from_primitive(h2_mech, small_grid, rho, [u0, v0], T, Y)
+        rho2, vel2, T2, p2, Y2, e0 = st.primitives()
+        np.testing.assert_allclose(rho2, rho, rtol=1e-12)
+        np.testing.assert_allclose(vel2[0], u0, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(T2, T, rtol=1e-8)
+        np.testing.assert_allclose(p2, P_ATM, rtol=1e-8)
+        np.testing.assert_allclose(Y2, Y, atol=1e-12)
+
+    def test_uniform_scalars_broadcast(self, air_mech, small_grid, air_y):
+        st = State.from_primitive(air_mech, small_grid, 1.2, [0.0, 0.0], 300.0, air_y)
+        rho, vel, T, p, Y, _ = st.primitives()
+        np.testing.assert_allclose(T, 300.0, rtol=1e-9)
+
+    def test_mass_fraction_constraint(self, h2_mech, small_grid, h2_air_stoich):
+        st = State.from_primitive(
+            h2_mech, small_grid, 1.0, [0.0, 0.0], 400.0, h2_air_stoich
+        )
+        Y = st.mass_fractions()
+        np.testing.assert_allclose(Y.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_velocity_count_checked(self, air_mech, small_grid, air_y):
+        with pytest.raises(ValueError, match="velocity"):
+            State.from_primitive(air_mech, small_grid, 1.0, [0.0], 300.0, air_y)
+
+    def test_copy_independent(self, air_mech, small_grid, air_y):
+        st = State.from_primitive(air_mech, small_grid, 1.0, [0.0, 0.0], 300.0, air_y)
+        st2 = st.copy()
+        st2.u[0] += 1.0
+        assert st.u[0].max() < st2.u[0].max()
+
+    def test_total_mass(self, air_mech, air_y):
+        grid = Grid((16, 16), (2.0, 3.0), periodic=(True, True))
+        st = State.from_primitive(air_mech, grid, 1.5, [0.0, 0.0], 300.0, air_y)
+        assert st.total_mass() == pytest.approx(1.5 * 6.0, rel=1e-12)
+
+    def test_min_max_monitor(self, air_mech, small_grid, air_y):
+        st = State.from_primitive(air_mech, small_grid, 1.0, [2.0, -1.0], 300.0, air_y)
+        mm = st.min_max()
+        lo, hi = mm["rho_u0"]
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(2.0)
+        assert set(mm) == set(st.variable_names())

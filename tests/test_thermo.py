@@ -1,0 +1,121 @@
+"""Tests for NASA-7 thermodynamics against known reference values."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.thermo import Nasa7, ThermoTable
+from repro.chemistry.mechanisms.thermo_data import nasa7, available
+from repro.util.constants import RU, T_STANDARD
+
+
+class TestNasa7:
+    def test_requires_seven_coefficients(self):
+        with pytest.raises(ValueError, match="7 coefficients"):
+            Nasa7(300.0, 1000.0, 3000.0, (1.0,) * 6, (1.0,) * 7)
+
+    def test_requires_ordered_ranges(self):
+        with pytest.raises(ValueError, match="ordered"):
+            Nasa7(1000.0, 300.0, 3000.0, (1.0,) * 7, (1.0,) * 7)
+
+    def test_cp_n2_at_300k(self):
+        # NIST: cp(N2, 300 K) = 29.12 J/mol/K
+        fit = nasa7("N2")
+        assert fit.cp_molar(300.0) == pytest.approx(29.12, rel=5e-3)
+
+    def test_cp_h2o_at_1000k(self):
+        # NIST: cp(H2O, 1000 K) ~ 41.3 J/mol/K
+        assert nasa7("H2O").cp_molar(1000.0) == pytest.approx(41.3, rel=0.02)
+
+    def test_formation_enthalpies(self):
+        # standard heats of formation [kJ/mol]
+        refs = {"H2O": -241.83, "CO2": -393.5, "CH4": -74.87, "OH": 39.0,
+                "H": 218.0, "O": 249.2, "CO": -110.5}
+        for name, href in refs.items():
+            h = nasa7(name).enthalpy_molar(T_STANDARD) / 1e3
+            # GRI-3.0 data; OH uses the older ~39 kJ/mol value
+            assert h == pytest.approx(href, rel=0.03), name
+
+    def test_elements_have_zero_formation_enthalpy(self):
+        for name in ("H2", "O2", "N2"):
+            h = nasa7(name).enthalpy_molar(T_STANDARD)
+            assert abs(h) < 150.0, name  # J/mol — essentially zero
+
+    def test_enthalpy_is_cp_integral(self):
+        """dh/dT == cp at both range interiors (consistency of the fit)."""
+        fit = nasa7("O2")
+        for T in (400.0, 1500.0):
+            dT = 1e-3
+            dh = (fit.enthalpy_molar(T + dT) - fit.enthalpy_molar(T - dT)) / (2 * dT)
+            assert dh == pytest.approx(fit.cp_molar(T), rel=1e-6)
+
+    def test_entropy_derivative_is_cp_over_t(self):
+        fit = nasa7("H2O")
+        for T in (500.0, 2000.0):
+            dT = 1e-3
+            ds = (fit.entropy_molar(T + dT) - fit.entropy_molar(T - dT)) / (2 * dT)
+            assert ds == pytest.approx(fit.cp_molar(T) / T, rel=1e-6)
+
+    def test_entropy_n2_standard(self):
+        # NIST: s(N2, 298.15 K) = 191.6 J/mol/K
+        assert nasa7("N2").entropy_molar(T_STANDARD) == pytest.approx(191.6, rel=5e-3)
+
+    def test_gibbs_definition(self):
+        fit = nasa7("CO2")
+        T = 1200.0
+        g = fit.gibbs_over_rt(T)
+        expected = fit.enthalpy_molar(T) / (RU * T) - fit.entropy_molar(T) / RU
+        assert g == pytest.approx(expected, rel=1e-12)
+
+    def test_vectorized_matches_scalar(self):
+        fit = nasa7("CH4")
+        T = np.array([300.0, 900.0, 1100.0, 2500.0])
+        cp_vec = fit.cp_molar(T)
+        for i, t in enumerate(T):
+            assert cp_vec[i] == pytest.approx(float(fit.cp_molar(t)))
+
+    def test_range_switch_continuity(self):
+        """low/high ranges agree at T_mid to fit accuracy.
+
+        Species used by the built-in kinetics get a tight bound; the
+        minor-radical database extras (CH3, HCO, CH2O) a looser one.
+        """
+        loose = {"CH3", "HCO", "CH2O"}
+        for name in available():
+            fit = nasa7(name)
+            lo = np.dot(fit.coeffs_low[:5], [fit.t_mid**k for k in range(5)])
+            hi = np.dot(fit.coeffs_high[:5], [fit.t_mid**k for k in range(5)])
+            tol = 5e-2 if name in loose else 1e-2
+            assert lo == pytest.approx(hi, rel=tol), name
+
+
+class TestThermoTable:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ThermoTable([])
+
+    def test_matches_per_species_fits(self):
+        names = ["H2", "O2", "H2O", "N2"]
+        fits = [nasa7(n) for n in names]
+        table = ThermoTable(fits)
+        T = np.array([350.0, 1400.0])
+        cp = table.cp_molar(T)
+        h = table.enthalpy_molar(T)
+        s = table.entropy_molar(T)
+        for i, fit in enumerate(fits):
+            np.testing.assert_allclose(cp[i], fit.cp_molar(T), rtol=1e-12)
+            np.testing.assert_allclose(h[i], fit.enthalpy_molar(T), rtol=1e-12)
+            np.testing.assert_allclose(s[i], fit.entropy_molar(T), rtol=1e-12)
+
+    def test_multidimensional_shapes(self):
+        table = ThermoTable([nasa7("O2"), nasa7("N2")])
+        T = np.full((3, 4, 5), 800.0)
+        assert table.cp_molar(T).shape == (2, 3, 4, 5)
+        assert table.gibbs_over_rt(T).shape == (2, 3, 4, 5)
+
+    def test_mixed_ranges_in_one_call(self):
+        """Temperatures straddling t_mid pick the correct range per point."""
+        table = ThermoTable([nasa7("O2")])
+        T = np.array([500.0, 2000.0])
+        both = table.cp_molar(T)[0]
+        assert both[0] == pytest.approx(float(nasa7("O2").cp_molar(500.0)))
+        assert both[1] == pytest.approx(float(nasa7("O2").cp_molar(2000.0)))
