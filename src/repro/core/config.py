@@ -86,6 +86,11 @@ class SolverConfig:
         Filter strength in [0, 1].
     scheme:
         ERK scheme name (see :data:`repro.core.erk.SCHEMES`).
+    telemetry:
+        ``True`` — give the solver a fresh recording
+        :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
+        backend; ``None`` (default) — use the process default (the
+        ``REPRO_TELEMETRY`` environment switch).
     """
 
     boundaries: dict = field(default_factory=dict)
@@ -94,6 +99,7 @@ class SolverConfig:
     filter_interval: int = 1
     filter_alpha: float = 0.2
     scheme: str = "rkf45"
+    telemetry: bool | None = None
 
     def validate(self, grid) -> None:
         """Cross-check the boundary map against the grid."""

@@ -36,9 +36,12 @@ _DIFF10 = np.array([-math.comb(10, j) * (-1) ** j for j in range(11)], dtype=flo
 class FilterOperator:
     """Explicit 10th-order low-pass filter along one direction."""
 
-    def __init__(self, n: int, periodic: bool = False, alpha: float = 1.0):
+    def __init__(self, n: int, periodic: bool = False, alpha: float = 1.0,
+                 telemetry=None):
         self.n = int(n)
         self.periodic = bool(periodic)
+        # kernel tracing: None when disabled — one attribute test per apply
+        self.telemetry = telemetry if (telemetry is not None and telemetry.enabled) else None
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("filter strength alpha must be in [0, 1]")
         self.alpha = float(alpha)
@@ -63,8 +66,13 @@ class FilterOperator:
         f = np.asarray(f, dtype=float)
         if f.shape[axis] != self.n:
             raise ValueError(f"axis {axis} has length {f.shape[axis]}, expected {self.n}")
-        moved = np.moveaxis(f, axis, 0)
-        out = self._apply_axis0(moved)
+        if self.telemetry is not None:
+            with self.telemetry.span("FILTER", points=f.size):
+                moved = np.moveaxis(f, axis, 0)
+                out = self._apply_axis0(moved)
+        else:
+            moved = np.moveaxis(f, axis, 0)
+            out = self._apply_axis0(moved)
         return np.moveaxis(out, 0, axis)
 
     __call__ = apply
@@ -89,9 +97,10 @@ class FilterOperator:
         return out
 
 
-def filter_operators(grid, alpha: float = 1.0):
+def filter_operators(grid, alpha: float = 1.0, telemetry=None):
     """One :class:`FilterOperator` per grid direction."""
     return [
-        FilterOperator(grid.shape[axis], periodic=grid.periodic[axis], alpha=alpha)
+        FilterOperator(grid.shape[axis], periodic=grid.periodic[axis], alpha=alpha,
+                       telemetry=telemetry)
         for axis in range(grid.ndim)
     ]

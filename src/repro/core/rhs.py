@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.derivatives import gradient_operators
 from repro.core import nscbc
+from repro.telemetry import resolve as resolve_telemetry
 from repro.util.constants import RU
 
 
@@ -44,16 +45,24 @@ class CompressibleRHS:
         Mapping ``(axis, side) -> BoundarySpec``.
     reacting:
         Include chemical source terms.
+    telemetry:
+        :class:`~repro.telemetry.Telemetry` backend; kernel blocks are
+        traced under the §4 inventory names (THERMOPROPS,
+        COMPUTESPECIESDIFFFLUX, COMPUTEHEATFLUX, REACTION_RATES), with
+        derivative sweeps nesting their own DERIVATIVES spans so
+        exclusive times split out TAU-style.
     """
 
-    def __init__(self, state, transport=None, boundaries=None, reacting=True):
+    def __init__(self, state, transport=None, boundaries=None, reacting=True,
+                 telemetry=None):
         self.state = state
         self.mech = state.mech
         self.grid = state.grid
         self.transport = transport
         self.boundaries = dict(boundaries or {})
         self.reacting = bool(reacting)
-        self.ops = gradient_operators(self.grid)
+        self.telemetry = resolve_telemetry(telemetry)
+        self.ops = gradient_operators(self.grid, telemetry=self.telemetry)
         self.ndim = self.grid.ndim
         self._needs_nscbc = any(
             spec.kind != "periodic" for spec in self.boundaries.values()
@@ -66,7 +75,9 @@ class CompressibleRHS:
         st = self.state
         mech = self.mech
         ndim = self.ndim
-        rho, vel, T, p, Y, e0 = st.primitives(u)
+        tel = self.telemetry
+        with tel.span("THERMOPROPS"):
+            rho, vel, T, p, Y, e0 = st.primitives(u)
 
         # -- primitive gradients ---------------------------------------
         grad_vel = [[self.ops[b](vel[a], axis=b) for b in range(ndim)] for a in range(ndim)]
@@ -74,14 +85,11 @@ class CompressibleRHS:
 
         viscous = self.transport is not None
         if viscous:
-            props = self.transport.evaluate(T, p, Y)
-            mu, lam, dcoef = props.viscosity, props.conductivity, props.diffusivities
-            wbar = mech.mean_weight(Y)
+            with tel.span("THERMOPROPS"):
+                props = self.transport.evaluate(T, p, Y)
+                mu, lam, dcoef = props.viscosity, props.conductivity, props.diffusivities
+                wbar = mech.mean_weight(Y)
             grad_w = [self.ops[b](wbar, axis=b) for b in range(ndim)]
-            grad_y = np.empty((mech.n_species, ndim) + rho.shape)
-            for i in range(mech.n_species):
-                for b in range(ndim):
-                    grad_y[i, b] = self.ops[b](Y[i], axis=b)
             div_u = sum(grad_vel[a][a] for a in range(ndim))
             # stress tensor, eq. (14)
             tau = [[None] * ndim for _ in range(ndim)]
@@ -92,24 +100,32 @@ class CompressibleRHS:
                         t_ab = t_ab - (2.0 / 3.0) * mu * div_u
                     tau[a][b] = t_ab
                     tau[b][a] = t_ab
-            # species diffusive fluxes, eq. (19) + correction (eq. 15)
-            flux_j = np.empty_like(grad_y)
-            for b in range(ndim):
-                gw = grad_w[b] / wbar
+            # species diffusive fluxes, eq. (19) + correction (eq. 15);
+            # the DERIVATIVES spans of the Y sweeps nest inside this span
+            with tel.span("COMPUTESPECIESDIFFFLUX"):
+                grad_y = np.empty((mech.n_species, ndim) + rho.shape)
                 for i in range(mech.n_species):
-                    flux_j[i, b] = -rho * dcoef[i] * (grad_y[i, b] + Y[i] * gw)
-                if props.thermal_diffusion_ratios is not None:
-                    glnt = grad_T[b] / T
-                    theta = props.thermal_diffusion_ratios
-                    wr = mech.weights.reshape((-1,) + (1,) * rho.ndim) / wbar[None]
-                    flux_j[:, b] += -rho[None] * dcoef * theta * wr * glnt[None]
-                correction = flux_j[:, b].sum(axis=0)
-                flux_j[:, b] -= Y * correction[None]
+                    for b in range(ndim):
+                        grad_y[i, b] = self.ops[b](Y[i], axis=b)
+                flux_j = np.empty_like(grad_y)
+                for b in range(ndim):
+                    gw = grad_w[b] / wbar
+                    for i in range(mech.n_species):
+                        flux_j[i, b] = -rho * dcoef[i] * (grad_y[i, b] + Y[i] * gw)
+                    if props.thermal_diffusion_ratios is not None:
+                        glnt = grad_T[b] / T
+                        theta = props.thermal_diffusion_ratios
+                        wr = mech.weights.reshape((-1,) + (1,) * rho.ndim) / wbar[None]
+                        flux_j[:, b] += -rho[None] * dcoef * theta * wr * glnt[None]
+                    correction = flux_j[:, b].sum(axis=0)
+                    flux_j[:, b] -= Y * correction[None]
             # heat flux, eq. (20)
-            h_i = mech.species_enthalpy_mass(T)
-            flux_q = [
-                -lam * grad_T[b] + (h_i * flux_j[:, b]).sum(axis=0) for b in range(ndim)
-            ]
+            with tel.span("COMPUTEHEATFLUX"):
+                h_i = mech.species_enthalpy_mass(T)
+                flux_q = [
+                    -lam * grad_T[b] + (h_i * flux_j[:, b]).sum(axis=0)
+                    for b in range(ndim)
+                ]
 
         # -- flux divergence --------------------------------------------
         du = np.zeros_like(u)
@@ -136,11 +152,12 @@ class CompressibleRHS:
 
         # -- chemical sources --------------------------------------------
         if self.reacting and mech.n_reactions:
-            wdot_mass = mech.production_rates(rho, T, Y)
-            for k in range(st.n_transported):
-                du[st.i_species(k)] += wdot_mass[k]
-            h_i = mech.species_enthalpy_mass(T)
-            self.last_heat_release = -(h_i * wdot_mass).sum(axis=0)
+            with tel.span("REACTION_RATES"):
+                wdot_mass = mech.production_rates(rho, T, Y)
+                for k in range(st.n_transported):
+                    du[st.i_species(k)] += wdot_mass[k]
+                h_i = mech.species_enthalpy_mass(T)
+                self.last_heat_release = -(h_i * wdot_mass).sum(axis=0)
         else:
             self.last_heat_release = np.zeros_like(rho)
 

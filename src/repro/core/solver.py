@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.erk import ERKIntegrator
 from repro.core.filters import filter_operators
 from repro.core.rhs import CompressibleRHS
+from repro import telemetry as _telemetry
 from repro.util.timers import TimerRegistry
 
 
@@ -34,23 +35,46 @@ class S3DSolver:
         Transport model or None (inviscid).
     reacting:
         Include chemistry source terms.
+    telemetry:
+        Explicit :class:`~repro.telemetry.Telemetry` backend; overrides
+        ``config.telemetry`` and the ``REPRO_TELEMETRY`` environment
+        default. Kernel spans use the §4 inventory names (INTEGRATE,
+        FILTER, DERIVATIVES, ...); the legacy ``timers`` registry keeps
+        its lowercase step-phase timers for backward compatibility.
     """
 
-    def __init__(self, state, config, transport=None, reacting=True):
+    def __init__(self, state, config, transport=None, reacting=True,
+                 telemetry=None):
         config.validate(state.grid)
         self.state = state
         self.config = config
+        self.telemetry = self._resolve_telemetry(telemetry, config)
         self.rhs = CompressibleRHS(
-            state, transport=transport, boundaries=config.boundaries, reacting=reacting
+            state, transport=transport, boundaries=config.boundaries,
+            reacting=reacting, telemetry=self.telemetry
         )
         self.integrator = ERKIntegrator(config.scheme)
-        self.filters = filter_operators(state.grid, alpha=config.filter_alpha)
+        self.filters = filter_operators(state.grid, alpha=config.filter_alpha,
+                                        telemetry=self.telemetry)
         self.time = 0.0
         self.step_count = 0
         self.timers = TimerRegistry()
         self.checkpoint_hook = None
         self.insitu_hook = None
         self.monitor_history = []  # list of (step, time, {var: (min, max)})
+        #: optional :class:`~repro.telemetry.MonitorWriter` fed by
+        #: :meth:`record_monitor` (the §9 ASCII monitoring files)
+        self.monitor_writer = None
+
+    @staticmethod
+    def _resolve_telemetry(telemetry, config):
+        if telemetry is not None:
+            return telemetry
+        if config.telemetry is True:
+            return _telemetry.Telemetry()
+        if config.telemetry is False:
+            return _telemetry.NULL_TELEMETRY
+        return _telemetry.get_telemetry()
 
     # ------------------------------------------------------------------
     def compute_dt(self) -> float:
@@ -63,8 +87,10 @@ class S3DSolver:
         """Advance one time step; returns the dt used."""
         if dt is None:
             dt = self.compute_dt()
-        with self.timers("integrate"):
+        with self.timers("integrate"), self.telemetry.span("INTEGRATE"):
             self.state.u = self.integrator.step(self.rhs, self.time, self.state.u, dt)
+        self.telemetry.gauge("solver.dt").set(dt)
+        self.telemetry.counter("solver.steps").inc()
         self.time += dt
         self.step_count += 1
         interval = self.config.filter_interval
@@ -92,14 +118,14 @@ class S3DSolver:
                 and self.checkpoint_hook is not None
                 and self.step_count % checkpoint_interval == 0
             ):
-                with self.timers("checkpoint"):
+                with self.timers("checkpoint"), self.telemetry.span("CHECKPOINT"):
                     self.checkpoint_hook(self.step_count, self.time, self.state)
             if (
                 insitu_interval
                 and self.insitu_hook is not None
                 and self.step_count % insitu_interval == 0
             ):
-                with self.timers("insitu"):
+                with self.timers("insitu"), self.telemetry.span("INSITU"):
                     self.insitu_hook(self.step_count, self.time, self.state)
         return self.state
 
@@ -107,6 +133,8 @@ class S3DSolver:
         """Record per-variable min/max (§9's ASCII monitoring data)."""
         mm = self.state.min_max()
         self.monitor_history.append((self.step_count, self.time, mm))
+        if self.monitor_writer is not None:
+            self.monitor_writer.write_step(self.step_count, self.time, mm)
         return mm
 
     # ------------------------------------------------------------------
@@ -115,5 +143,12 @@ class S3DSolver:
         return self.state.primitives()
 
     def performance_report(self) -> str:
-        """Per-kernel timer table."""
+        """Per-kernel timer table (legacy step-phase timers)."""
         return self.timers.report()
+
+    def profile_report(self) -> str:
+        """TAU-style per-kernel exclusive-time profile (§4, Fig 2).
+
+        Empty string when telemetry is disabled.
+        """
+        return self.telemetry.profile_report()

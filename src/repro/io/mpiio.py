@@ -19,35 +19,46 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.io.filesystem import WriteRequest
+from repro.telemetry import resolve as resolve_telemetry
 
 #: simulated interconnect for redistribution traffic
 NETWORK_BANDWIDTH = 200e6  # B/s per link
 NETWORK_LATENCY = 2e-5     # s per message
 
 
-def independent_write(fs, layout, global_array, path: str) -> float:
+def independent_write(fs, layout, global_array, path: str, telemetry=None) -> float:
     """Every rank writes its runs directly (MPI_File_write_at)."""
+    tel = resolve_telemetry(telemetry)
     t0 = fs.elapsed()
+    open_before = fs.time.open
     fs.open(path, n_clients=layout.n_ranks)
+    tel.histogram("io.open_time").observe(fs.time.open - open_before)
     requests = []
     for rank in range(layout.n_ranks):
         block = layout.local_block(global_array, rank)
         for off, data in layout.rank_requests(rank, block):
             requests.append(WriteRequest(rank, path, off, data))
     fs.phase_write(requests, independent=True)
-    return fs.elapsed() - t0
+    elapsed = fs.elapsed() - t0
+    tel.counter("io.mpiio.bytes").inc(sum(len(r.data) for r in requests))
+    tel.counter("io.mpiio.requests").inc(len(requests))
+    tel.histogram("io.mpiio.write_time").observe(elapsed)
+    return elapsed
 
 
 def collective_write(fs, layout, global_array, path: str,
-                     aggregators: int | None = None) -> float:
+                     aggregators: int | None = None, telemetry=None) -> float:
     """Two-phase collective write (MPI_File_write_all).
 
     Returns elapsed simulated time including the redistribution phase.
     """
+    tel = resolve_telemetry(telemetry)
     t0 = fs.elapsed()
     n_ranks = layout.n_ranks
     n_agg = aggregators or n_ranks
+    open_before = fs.time.open
     fs.open(path, n_clients=n_ranks)
+    tel.histogram("io.open_time").observe(fs.time.open - open_before)
     total = layout.total_bytes
     domain = -(-total // n_agg)  # ceil
 
@@ -92,4 +103,9 @@ def collective_write(fs, layout, global_array, path: str,
         if merged_off is not None:
             requests.append(WriteRequest(agg, path, merged_off, bytes(merged)))
     fs.phase_write(requests)
-    return fs.elapsed() - t0
+    elapsed = fs.elapsed() - t0
+    tel.counter("io.mpiio.bytes").inc(sum(len(r.data) for r in requests))
+    tel.counter("io.mpiio.requests").inc(len(requests))
+    tel.counter("io.mpiio.shuffle_bytes").inc(sum(net_bytes.values()))
+    tel.histogram("io.mpiio.write_time").observe(elapsed)
+    return elapsed

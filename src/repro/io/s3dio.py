@@ -41,12 +41,20 @@ class S3DCheckpoint:
         Process grid (px, py, pz).
     block:
         Per-process block size (default 50^3, the paper's setting).
+    telemetry:
+        Telemetry backend; checkpoint writes run under a ``CHECKPOINT``
+        span and record ``io.checkpoint.bytes`` / ``io.checkpoint.count``
+        counters alongside the per-method instruments.
     """
 
     proc_shape: tuple
     block: tuple = (50, 50, 50)
+    telemetry: object = None
 
     def __post_init__(self):
+        from repro.telemetry import resolve as resolve_telemetry
+
+        self.telemetry = resolve_telemetry(self.telemetry)
         self.global_shape = tuple(
             b * p for b, p in zip(self.block, self.proc_shape)
         )
@@ -77,6 +85,14 @@ class S3DCheckpoint:
     def write_checkpoint(self, fs: SimFileSystem, method: str, arrays,
                          checkpoint_id: int) -> float:
         """Write one checkpoint with the given method; returns elapsed."""
+        with self.telemetry.span("CHECKPOINT"):
+            elapsed = self._write_checkpoint(fs, method, arrays, checkpoint_id)
+        self.telemetry.counter("io.checkpoint.bytes").inc(self.bytes_per_checkpoint)
+        self.telemetry.counter("io.checkpoint.count").inc()
+        return elapsed
+
+    def _write_checkpoint(self, fs: SimFileSystem, method: str, arrays,
+                          checkpoint_id: int) -> float:
         if method == "fortran":
             return fortran_write_checkpoint(
                 fs, self.layouts, arrays, checkpoint_id
@@ -86,9 +102,11 @@ class S3DCheckpoint:
             for (name, _), layout, arr in zip(CHECKPOINT_VARS, self.layouts, arrays):
                 path = f"{name}.{checkpoint_id:04d}"
                 if method == "independent":
-                    independent_write(fs, layout, arr, path)
+                    independent_write(fs, layout, arr, path,
+                                      telemetry=self.telemetry)
                 else:
-                    collective_write(fs, layout, arr, path)
+                    collective_write(fs, layout, arr, path,
+                                     telemetry=self.telemetry)
             return fs.elapsed() - t0
         if method in ("caching", "writebehind"):
             for (name, _), layout, arr in zip(CHECKPOINT_VARS, self.layouts, arrays):
@@ -96,7 +114,8 @@ class S3DCheckpoint:
                 writer = (
                     MPIIOCache(fs, path, self.n_ranks)
                     if method == "caching"
-                    else TwoStageWriteBehind(fs, path, self.n_ranks)
+                    else TwoStageWriteBehind(fs, path, self.n_ranks,
+                                             telemetry=self.telemetry)
                 )
                 flush = [] if method == "caching" else None
                 for rank in range(self.n_ranks):
@@ -134,14 +153,15 @@ class S3DCheckpoint:
 
 
 def run_checkpoint_benchmark(fs_factory, method: str, proc_shape, n_checkpoints=10,
-                             block=(50, 50, 50), seed=0):
+                             block=(50, 50, 50), seed=0, telemetry=None):
     """Fig 9 driver: N checkpoints through one method on a fresh FS.
 
     Returns a dict with aggregate bandwidth [B/s], open time [s], total
     elapsed [s], and the FS/diagnostic counters.
     """
     fs = fs_factory()
-    ck = S3DCheckpoint(proc_shape=tuple(proc_shape), block=tuple(block))
+    ck = S3DCheckpoint(proc_shape=tuple(proc_shape), block=tuple(block),
+                       telemetry=telemetry)
     arrays = ck.synthetic_arrays(seed=seed)
     t0 = fs.elapsed()
     for cid in range(n_checkpoints):

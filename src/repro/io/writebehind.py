@@ -26,23 +26,33 @@ from dataclasses import dataclass, field
 
 from repro.io.filesystem import WriteRequest
 from repro.io.network import NetworkModel
+from repro.telemetry import resolve as resolve_telemetry
 
 DEFAULT_SUBBUFFER = 64 * 1024  # 64 kB (paper default)
 
 
 class TwoStageWriteBehind:
-    """Two-stage write-behind writer over a simulated FS."""
+    """Two-stage write-behind writer over a simulated FS.
+
+    Telemetry: ``io.writebehind.bytes`` / ``io.writebehind.flushes``
+    counters and an ``io.open_time`` histogram (the Fig 9 observables).
+    """
 
     def __init__(self, fs, path: str, n_ranks: int, page_size: int | None = None,
                  subbuffer_size: int = DEFAULT_SUBBUFFER,
-                 network: NetworkModel | None = None):
+                 network: NetworkModel | None = None, telemetry=None):
         self.fs = fs
         self.path = path
         self.n_ranks = int(n_ranks)
         self.page_size = int(page_size or fs.config.lock_unit)
         self.subbuffer_size = int(subbuffer_size)
         self.net = network or NetworkModel()
+        self.telemetry = resolve_telemetry(telemetry)
+        self._c_bytes = self.telemetry.counter("io.writebehind.bytes")
+        self._c_flushes = self.telemetry.counter("io.writebehind.flushes")
+        open_before = fs.time.open
         fs.open(path, n_clients=self.n_ranks)
+        self.telemetry.histogram("io.open_time").observe(fs.time.open - open_before)
         # stage 1: per (rank, destination) accumulation
         self._sub: dict = {
             (r, d): [] for r in range(self.n_ranks) for d in range(self.n_ranks)
@@ -84,6 +94,7 @@ class TwoStageWriteBehind:
         self.net.send(rank, dest, nbytes)
         self.remote_bytes += nbytes
         self.stage1_flushes += 1
+        self._c_flushes.inc()
         for off, data in records:
             self._deposit(dest, off, data)
         self._sub[(rank, dest)] = []
@@ -92,6 +103,7 @@ class TwoStageWriteBehind:
     # ------------------------------------------------------------------
     def write(self, rank: int, offset: int, data: bytes) -> None:
         """Stage-1 accumulation of one write, split at page boundaries."""
+        self._c_bytes.inc(len(data))
         pos = offset
         view = memoryview(data)
         while view:
@@ -131,4 +143,5 @@ class TwoStageWriteBehind:
             self._page_dirty[owner].clear()
         t = self.fs.phase_write(requests, independent=True)
         self.fs.time.overhead += net
+        self.telemetry.histogram("io.writebehind.close_time").observe(t + net)
         return t + net

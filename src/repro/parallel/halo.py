@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import resolve as resolve_telemetry
+
 #: ghost width covering both the derivative (4) and filter (5) stencils
 DEFAULT_GHOST_WIDTH = 5
 
@@ -30,9 +32,14 @@ class HaloExchanger:
         A :class:`~repro.parallel.comm.SimMPI` world of matching size.
     width:
         Ghost-layer count per face.
+    telemetry:
+        Telemetry backend; each exchange runs under a ``HALO_EXCHANGE``
+        span and accumulates ``halo.bytes`` / ``halo.messages`` counters
+        (the communication observables of §2.6/§4).
     """
 
-    def __init__(self, decomp, world, width: int = DEFAULT_GHOST_WIDTH):
+    def __init__(self, decomp, world, width: int = DEFAULT_GHOST_WIDTH,
+                 telemetry=None):
         if world.size != decomp.size:
             raise ValueError(
                 f"world size {world.size} != decomposition size {decomp.size}"
@@ -42,6 +49,9 @@ class HaloExchanger:
         self.width = int(width)
         if self.width < 1:
             raise ValueError("ghost width must be >= 1")
+        self.telemetry = resolve_telemetry(telemetry)
+        self._bytes = self.telemetry.counter("halo.bytes")
+        self._messages = self.telemetry.counter("halo.messages")
 
     # ------------------------------------------------------------------
     def extended_shape(self, rank: int, leading: tuple = ()) -> tuple:
@@ -92,6 +102,10 @@ class HaloExchanger:
         swept axes, so corner ghosts are filled correctly — required for
         nested-gradient (viscous) equivalence with the serial solver.
         """
+        with self.telemetry.span("HALO_EXCHANGE"):
+            return self._exchange(locals_, leading_axes)
+
+    def _exchange(self, locals_: list, leading_axes: int = 0) -> list:
         decomp, world, w = self.decomp, self.world, self.width
         lead = tuple(np.asarray(locals_[0]).shape[:leading_axes])
         extended = []
@@ -117,7 +131,10 @@ class HaloExchanger:
                         sl[ax] = slice(offs[axis], offs[axis] + w)
                     else:
                         sl[ax] = slice(offs[axis] + n_local - w, offs[axis] + n_local)
-                    comm.Isend(ext[tuple(sl)], dest=nb, tag=tag)
+                    slab = ext[tuple(sl)]
+                    comm.Isend(slab, dest=nb, tag=tag)
+                    self._bytes.inc(slab.nbytes)
+                    self._messages.inc()
             # phase 2: all ranks drain receives into ghost layers
             for rank in range(decomp.size):
                 comm = world.comm(rank)

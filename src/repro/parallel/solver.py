@@ -29,6 +29,7 @@ from repro.core.grid import Grid
 from repro.core.rhs import CompressibleRHS
 from repro.core.state import State
 from repro.parallel.halo import HaloExchanger
+from repro.telemetry import resolve as resolve_telemetry
 
 #: halo depth for nested-gradient (viscous-flux) bitwise equivalence
 DEEP_HALO = 2 * HALF_WIDTH + 1  # 9 >= filter's 5 as well
@@ -105,7 +106,7 @@ class ParallelPeriodicSolver:
 
     def __init__(self, mechanism, grid, decomp, world, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
-                 filter_interval=1):
+                 filter_interval=1, telemetry=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -116,7 +117,9 @@ class ParallelPeriodicSolver:
         self.world = world
         self.scheme = SCHEMES[scheme]()
         self.filter_interval = int(filter_interval)
-        self.halo = HaloExchanger(decomp, world, width=DEEP_HALO)
+        self.telemetry = resolve_telemetry(telemetry)
+        self.halo = HaloExchanger(decomp, world, width=DEEP_HALO,
+                                  telemetry=self.telemetry)
         self.spacings = [grid.spacing(a) for a in range(grid.ndim)]
         # per-rank extended grids / states / RHS evaluators
         self._rank_rhs = []
@@ -131,11 +134,13 @@ class ParallelPeriodicSolver:
             st = State(mechanism, g)
             self._rank_state.append(st)
             self._rank_rhs.append(
-                CompressibleRHS(st, transport=transport, boundaries={}, reacting=reacting)
+                CompressibleRHS(st, transport=transport, boundaries={},
+                                reacting=reacting, telemetry=self.telemetry)
             )
             self._filters.append(
                 [
-                    FilterOperator(n, periodic=False, alpha=filter_alpha)
+                    FilterOperator(n, periodic=False, alpha=filter_alpha,
+                                   telemetry=self.telemetry)
                     for n in ext_shape
                 ]
             )
@@ -163,14 +168,15 @@ class ParallelPeriodicSolver:
     def step(self, dt: float) -> None:
         """One low-storage RK step across all ranks."""
         sch = self.scheme
-        u = [np.array(b, copy=True) for b in self.locals]
-        du = [np.zeros_like(b) for b in u]
-        for i in range(sch.stages):
-            rhs_blocks = self._rhs_all(self.time + sch.c[i] * dt, u)
-            for r in range(self.decomp.size):
-                du[r] *= sch.a[i]
-                du[r] += dt * rhs_blocks[r]
-                u[r] += sch.b[i] * du[r]
+        with self.telemetry.span("INTEGRATE"):
+            u = [np.array(b, copy=True) for b in self.locals]
+            du = [np.zeros_like(b) for b in u]
+            for i in range(sch.stages):
+                rhs_blocks = self._rhs_all(self.time + sch.c[i] * dt, u)
+                for r in range(self.decomp.size):
+                    du[r] *= sch.a[i]
+                    du[r] += dt * rhs_blocks[r]
+                    u[r] += sch.b[i] * du[r]
         self.locals = u
         self.time += dt
         self.step_count += 1

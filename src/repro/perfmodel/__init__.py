@@ -26,7 +26,11 @@ from repro.perfmodel.kernels import KernelSpec, s3d_kernel_inventory
 from repro.perfmodel.roofline import kernel_time, roofline_report
 from repro.perfmodel.weakscaling import weak_scaling_curve, hybrid_weak_scaling
 from repro.perfmodel.loadbalance import rebalanced_cost, balance_curve
-from repro.perfmodel.profiler import SimProfiler, profile_hybrid_run
+from repro.perfmodel.profiler import (
+    SimProfiler,
+    profile_hybrid_run,
+    rank_profile_from_telemetry,
+)
 
 __all__ = [
     "NodeModel",
@@ -43,4 +47,5 @@ __all__ = [
     "balance_curve",
     "SimProfiler",
     "profile_hybrid_run",
+    "rank_profile_from_telemetry",
 ]

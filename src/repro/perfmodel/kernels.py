@@ -54,11 +54,17 @@ def s3d_kernel_inventory() -> list:
 
 
 def measured_kernel_weights(timers) -> dict:
-    """Relative kernel weights from a real solver run's TimerRegistry.
+    """Relative kernel weights from a real solver run.
 
+    Accepts either the legacy ``TimerRegistry`` (total times) or a
+    telemetry :class:`~repro.telemetry.spans.Tracer` (exclusive times).
     Used to sanity-check the inventory's proportions against the Python
     implementation (tests assert diffusive-flux assembly dominates the
     memory kernels, mirroring §4.1's finding).
     """
-    total = sum(t.total for t in timers.timers.values()) or 1.0
-    return {name: t.total / total for name, t in timers.timers.items()}
+    if hasattr(timers, "exclusive_times"):  # Tracer / telemetry backend
+        times = timers.exclusive_times()
+    else:
+        times = {name: t.total for name, t in timers.timers.items()}
+    total = sum(times.values()) or 1.0
+    return {name: v / total for name, v in times.items()}

@@ -90,24 +90,53 @@ class SimProfiler:
     """Instrument real Python callables, TAU-style.
 
     Wrap kernels with :meth:`instrument`; every call accumulates
-    exclusive wall time under the kernel's name.
+    exclusive wall time under the kernel's name. When a recording
+    :class:`~repro.telemetry.Telemetry` is supplied, calls run under
+    nested spans instead, so instrumented callables that invoke each
+    other get *true* exclusive times (child time subtracted) rather
+    than double-counted flat totals.
     """
 
-    def __init__(self):
+    def __init__(self, telemetry=None):
         self.timers = TimerRegistry()
+        self.telemetry = telemetry if (telemetry is not None and telemetry.enabled) else None
 
     def instrument(self, name: str, fn):
         timer = self.timers(name)
+        tel = self.telemetry
 
-        def wrapped(*args, **kwargs):
-            with timer:
-                return fn(*args, **kwargs)
+        if tel is not None:
+            def wrapped(*args, **kwargs):
+                with timer, tel.span(name):
+                    return fn(*args, **kwargs)
+        else:
+            def wrapped(*args, **kwargs):
+                with timer:
+                    return fn(*args, **kwargs)
 
         wrapped.__name__ = f"profiled_{name}"
         return wrapped
 
     def exclusive_times(self) -> dict:
+        if self.telemetry is not None:
+            return self.telemetry.tracer.exclusive_times()
         return {name: t.total for name, t in self.timers.timers.items()}
 
     def report(self) -> str:
+        if self.telemetry is not None:
+            return self.telemetry.profile_report()
         return self.timers.report()
+
+
+def rank_profile_from_telemetry(telemetry, rank: int = 0,
+                                node_type: str = "measured") -> RankProfile:
+    """A :class:`RankProfile` from *measured* span data.
+
+    This closes the loop on the Fig 2 methodology: the per-kernel
+    exclusive times come from a real instrumented run (a
+    :class:`~repro.core.solver.S3DSolver` with telemetry enabled)
+    instead of the machine model, and slot into :func:`class_means` /
+    load-balance analyses unchanged.
+    """
+    exclusive = telemetry.tracer.exclusive_times()
+    return RankProfile(rank=rank, node_type=node_type, exclusive=dict(exclusive))

@@ -37,6 +37,14 @@ class Timer:
         self.count += 1
         return elapsed
 
+    def cancel(self) -> None:
+        """Discard the running interval (no-op if not running)."""
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
     @property
     def mean(self) -> float:
         """Mean elapsed time per start/stop pair (0 if never run)."""
@@ -46,8 +54,14 @@ class Timer:
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exception inside the block the interval is aborted, not a
+        # measurement: discard it so the timer is immediately reusable
+        # (start() must not see a stale running state).
+        if exc_type is not None:
+            self.cancel()
+        else:
+            self.stop()
 
 
 @dataclass
@@ -62,9 +76,23 @@ class TimerRegistry:
             self.timers[name] = Timer(name)
         return self.timers[name]
 
+    def __iter__(self):
+        """Timers in deterministic (creation) order."""
+        return iter(self.timers.values())
+
+    def __len__(self) -> int:
+        return len(self.timers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.timers
+
+    def names(self) -> list:
+        return list(self.timers)
+
     def report(self) -> str:
-        """Human-readable table of all timers, sorted by total time."""
-        rows = sorted(self.timers.values(), key=lambda t: -t.total)
+        """Human-readable table of all timers, sorted by total time
+        (name breaks ties, so the ordering is deterministic)."""
+        rows = sorted(self.timers.values(), key=lambda t: (-t.total, t.name))
         lines = [f"{'timer':<32s} {'total[s]':>10s} {'count':>8s} {'mean[ms]':>10s}"]
         for t in rows:
             lines.append(f"{t.name:<32s} {t.total:>10.4f} {t.count:>8d} {t.mean * 1e3:>10.4f}")

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 
+from repro.telemetry import resolve as resolve_telemetry
 from repro.workflow.actor import Actor, Port, Token
 from repro.workflow.environment import RemoteError
 
@@ -32,13 +33,15 @@ class FileWatcher(Actor):
     outputs = ["file"]
 
     def __init__(self, name: str, env, machine: str, prefix: str,
-                 completion_log: str | None = None):
+                 completion_log: str | None = None, telemetry=None):
         super().__init__(name)
         self.env = env
         self.machine = machine
         self.prefix = prefix
         self.completion_log = completion_log
         self.seen: set = set()
+        self._c_emitted = resolve_telemetry(telemetry).counter(
+            "workflow.files_emitted")
 
     def _completed(self) -> set | None:
         """Filenames marked complete in the simulation's log (§9: 'the
@@ -61,6 +64,7 @@ class FileWatcher(Actor):
             if done is not None and path not in done:
                 continue
             self.seen.add(path)
+            self._c_emitted.inc()
             return {"file": Token(path)}
         return None
 
@@ -73,7 +77,7 @@ class ProcessFile(Actor):
 
     def __init__(self, name: str, env, machine: str, command: str,
                  checkpoint_store: dict | None = None, max_retries: int = 3,
-                 transform_path=None):
+                 transform_path=None, telemetry=None):
         super().__init__(name)
         self.env = env
         self.machine = machine
@@ -85,6 +89,9 @@ class ProcessFile(Actor):
         self.transform_path = transform_path or (lambda p: p)
         self.log: list = []
         self.skipped = 0
+        tel = resolve_telemetry(telemetry)
+        self._c_retries = tel.counter("workflow.process.retries")
+        self._c_failures = tel.counter("workflow.process.failures")
 
     def fire(self, inputs):
         token = inputs["file"]
@@ -104,8 +111,10 @@ class ProcessFile(Actor):
                 return {"file": token.derive(out_path, self.name)}
             except RemoteError as err:
                 last_error = err
+                self._c_retries.inc()
                 self.log.append(("retry", path, attempt, str(err)))
         self.checkpoint[key] = "failed"
+        self._c_failures.inc()
         self.log.append(("failed", path, str(last_error)))
         return {"errors": token.derive(str(last_error), f"{self.name}(error)")}
 
@@ -117,7 +126,8 @@ class Transfer(Actor):
     outputs = ["file"]
 
     def __init__(self, name: str, env, src: str, dst: str, streams: int = 4,
-                 checkpoint_store: dict | None = None, max_retries: int = 3):
+                 checkpoint_store: dict | None = None, max_retries: int = 3,
+                 telemetry=None):
         super().__init__(name)
         self.env = env
         self.src = src
@@ -127,6 +137,9 @@ class Transfer(Actor):
         self.max_retries = int(max_retries)
         self.skipped = 0
         self.log: list = []
+        tel = resolve_telemetry(telemetry)
+        self._c_transfers = tel.counter("workflow.transfer.count")
+        self._c_retries = tel.counter("workflow.transfer.retries")
 
     def fire(self, inputs):
         token = inputs["file"]
@@ -140,9 +153,11 @@ class Transfer(Actor):
                 self.env.transfer(self.src, path, self.dst, path,
                                   streams=self.streams)
                 self.checkpoint[key] = "done"
+                self._c_transfers.inc()
                 self.log.append(("ok", path, attempt))
                 return {"file": token.derive(path, self.name)}
             except RemoteError as err:
+                self._c_retries.inc()
                 self.log.append(("retry", path, attempt, str(err)))
         # leave unmarked so a restarted workflow retries the move
         self.checkpoint[key] = "failed"

@@ -11,19 +11,32 @@ a round.
 
 from __future__ import annotations
 
+from repro.telemetry import resolve as resolve_telemetry
 from repro.workflow.actor import Token
 
 
 class ProcessNetworkDirector:
-    """Round-based dataflow execution."""
+    """Round-based dataflow execution.
 
-    def __init__(self, workflow, max_rounds: int = 1000, max_firings_per_round: int = 10000):
+    Telemetry: every firing runs under a per-actor span
+    (``actor.<name>``), and ``workflow.firings`` / ``workflow.rounds``
+    counters accumulate, so a run of the §9 pipeline yields the same
+    exclusive-time breakdown the solver kernels get.
+    """
+
+    def __init__(self, workflow, max_rounds: int = 1000, max_firings_per_round: int = 10000,
+                 telemetry=None):
         self.workflow = workflow
         self.max_rounds = int(max_rounds)
         self.max_firings = int(max_firings_per_round)
+        self.telemetry = resolve_telemetry(telemetry)
         self.rounds = 0
         self.firings = 0
         self.trace: list = []  # (round, actor_name) firing log
+
+    def _fire(self, actor, inputs):
+        with self.telemetry.span(f"actor.{actor.name}"):
+            return actor.fire(inputs)
 
     def _emit(self, actor, outputs: dict) -> None:
         for port, value in (outputs or {}).items():
@@ -36,7 +49,7 @@ class ProcessNetworkDirector:
         fired = 0
         # poll sources once per round
         for actor in wf.sources():
-            outputs = actor.fire({})
+            outputs = self._fire(actor, {})
             if outputs:
                 actor.fired += 1
                 fired += 1
@@ -52,7 +65,7 @@ class ProcessNetworkDirector:
                     continue
                 if actor.ready(wf.available(actor)):
                     inputs = wf.consume(actor)
-                    outputs = actor.fire(inputs)
+                    outputs = self._fire(actor, inputs)
                     actor.fired += 1
                     fired += 1
                     self.firings += 1
@@ -61,6 +74,8 @@ class ProcessNetworkDirector:
                         self._emit(actor, outputs)
                     progress = True
         self.rounds += 1
+        self.telemetry.counter("workflow.rounds").inc()
+        self.telemetry.counter("workflow.firings").inc(fired)
         return fired
 
     def run(self, until_idle: bool = True, rounds: int | None = None) -> None:

@@ -1,0 +1,124 @@
+"""Regression tests: discrete conservation of the inviscid periodic
+solver over many steps, and bit-identical conserved-state restart through
+the simulated file system (the property a production DNS restart chain
+must have: a resumed run is *the same run*)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, S3DSolver, SolverConfig, ic
+from repro.core.config import periodic_boundaries
+from repro.io import SimFileSystem, lustre
+from repro.io.restart import load_solver_state, save_solver_state
+from repro.util.constants import P_ATM
+
+
+def _pulse_solver(mech, Y, n=48, **cfg_kwargs):
+    grid = Grid((n,), (1.0,), periodic=(True,))
+    state = ic.pressure_pulse(mech, grid, p0=P_ATM, T0=300.0, Y=Y,
+                              amplitude=1e-3, width=0.05)
+    cfg = SolverConfig(boundaries=periodic_boundaries(1), cfl=0.5,
+                       filter_interval=1, filter_alpha=0.2, **cfg_kwargs)
+    return S3DSolver(state, cfg, transport=None, reacting=False)
+
+
+class TestLongRunConservation:
+    @pytest.fixture(scope="class")
+    def run20(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        vol = solver.state.grid.cell_volumes()
+        u0 = solver.state.u.copy()
+        m0 = solver.state.total_mass()
+        e0 = solver.state.total_energy()
+        mom0 = float((solver.state.u[solver.state.i_mom(0)] * vol).sum())
+        for _ in range(20):
+            solver.step()
+        return solver, u0, m0, e0, mom0
+
+    def test_mass_conserved_over_20_steps(self, run20):
+        solver, _, m0, _, _ = run20
+        assert abs(solver.state.total_mass() - m0) / m0 < 1e-12
+
+    def test_energy_conserved_over_20_steps(self, run20):
+        solver, _, _, e0, _ = run20
+        assert abs(solver.state.total_energy() - e0) / abs(e0) < 1e-12
+
+    def test_momentum_conserved_over_20_steps(self, run20):
+        solver, u0, m0, _, mom0 = run20
+        vol = solver.state.grid.cell_volumes()
+        mom1 = float((solver.state.u[solver.state.i_mom(0)] * vol).sum())
+        # the pulse has zero net momentum; compare against the mass scale
+        assert abs(mom1 - mom0) / m0 < 1e-12
+
+    def test_state_actually_evolved(self, run20):
+        solver, u0, _, _, _ = run20
+        assert np.abs(solver.state.u - u0).max() > 0
+
+
+class TestBitIdenticalRestart:
+    def test_save_load_roundtrip_is_bitwise(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        for _ in range(5):
+            solver.step()
+        u_saved = solver.state.u.copy()
+        t_saved, n_saved = solver.time, solver.step_count
+
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "restart.0005")
+
+        # perturb, then restore into the same solver
+        solver.state.u += 1.0
+        solver.time, solver.step_count = -1.0, -1
+        load_solver_state(fs, solver, "restart.0005")
+        assert np.array_equal(solver.state.u, u_saved)  # bitwise
+        assert solver.time == t_saved
+        assert solver.step_count == n_saved
+
+    def test_restored_run_continues_bitwise(self, air_mech, air_y):
+        """Two solvers restored from the same file take identical steps:
+        the restart file pins the entire trajectory."""
+        src = _pulse_solver(air_mech, air_y)
+        for _ in range(4):
+            src.step()
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, src, "ckpt")
+
+        a = _pulse_solver(air_mech, air_y)
+        b = _pulse_solver(air_mech, air_y)
+        load_solver_state(fs, a, "ckpt")
+        load_solver_state(fs, b, "ckpt")
+        assert np.array_equal(a.state.u, b.state.u)
+        for _ in range(6):
+            a.step()
+            b.step()
+        assert a.time == b.time
+        assert np.array_equal(a.state.u, b.state.u)  # bitwise, 6 steps later
+
+    def test_load_rejects_wrong_magic(self, air_mech, air_y):
+        from repro.io.filesystem import WriteRequest
+
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        fs.open("junk")
+        fs.phase_write([WriteRequest(0, "junk", 0, b"\x00" * 4096)])
+        with pytest.raises(ValueError, match="not a conserved-state"):
+            load_solver_state(fs, solver, "junk")
+
+    def test_load_rejects_shape_mismatch(self, air_mech, air_y):
+        big = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, big, "ckpt48")
+        small = _pulse_solver(air_mech, air_y, n=32)
+        with pytest.raises(ValueError, match="does not match"):
+            load_solver_state(fs, small, "ckpt48")
+
+    def test_save_records_telemetry(self, air_mech, air_y):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "ckpt", telemetry=tel)
+        nbytes = tel.metrics.counter("io.restart.bytes").value
+        assert nbytes > solver.state.u.nbytes  # payload + header
+        assert tel.metrics.histograms["io.open_time"].count == 1

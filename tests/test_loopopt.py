@@ -177,6 +177,7 @@ class TestCacheSim:
         sim.reset()
         assert sim.stats.accesses == 0
 
+    @pytest.mark.slow
     def test_transforms_reduce_misses(self):
         """The Fig 5 payoff: the pipeline cuts cache misses substantially
         when field slices exceed the cache."""

@@ -125,6 +125,78 @@ class TestNumericsProperties:
         assert w[1].sum() == pytest.approx(0.0, abs=1e-9)
 
 
+class TestFormalOrderProperties:
+    """Grid-refinement properties of the 8th-order stencil and the
+    10th-order filter on randomized smooth fields (§2: 'eighth order
+    explicit finite difference' + 'tenth order filter')."""
+
+    @staticmethod
+    def _smooth_field(n, seed, n_modes=3):
+        """Random low-wavenumber trig polynomial and its derivative."""
+        rng = np.random.default_rng(seed)
+        x = np.arange(n) / n  # periodic unit interval, spacing 1/n
+        f = np.zeros(n)
+        df = np.zeros(n)
+        for k in range(1, n_modes + 1):
+            a, b = rng.uniform(-1, 1, 2)
+            w = 2 * np.pi * k
+            f += a * np.sin(w * x) + b * np.cos(w * x)
+            df += w * (a * np.cos(w * x) - b * np.sin(w * x))
+        return f, df
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.sampled_from([16, 20, 24, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_derivative_achieves_eighth_order(self, seed, n):
+        """Halving the spacing cuts the error by ~2^8 (formal order >= 7
+        measured, leaving headroom for the roundoff floor)."""
+        from hypothesis import assume
+
+        errs = []
+        for m in (n, 2 * n):
+            f, df = self._smooth_field(m, seed)
+            op = DerivativeOperator(m, 1.0 / m, periodic=True)
+            errs.append(np.abs(op(f) - df).max())
+        # skip draws where the fine-grid error hits the roundoff floor
+        assume(errs[1] > 1e-13)
+        order = np.log2(errs[0] / errs[1])
+        assert order > 7.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.sampled_from([16, 24, 32, 48]),
+           alpha=st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_transfer_function(self, seed, n, alpha):
+        """The periodic filter's transfer function is
+        1 - alpha*sin^10(pi k / n): low-wavenumber content passes nearly
+        unchanged while the Nyquist mode is damped by exactly alpha."""
+        rng = np.random.default_rng(seed)
+        f = rng.uniform(-1, 1, n)
+        filt = FilterOperator(n, periodic=True, alpha=alpha)
+        fh = np.fft.rfft(f)
+        gh = np.fft.rfft(filt(f))
+        k = np.arange(fh.size)
+        transfer = 1.0 - alpha * np.sin(np.pi * k / n) ** 10
+        np.testing.assert_allclose(gh, transfer * fh, atol=1e-12 * n)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.sampled_from([16, 24, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_filter_annihilates_nyquist_at_full_strength(self, seed, n):
+        rng = np.random.default_rng(seed)
+        smooth, _ = self._smooth_field(n, seed)
+        nyquist = rng.uniform(0.5, 2.0) * (-1.0) ** np.arange(n)
+        filt = FilterOperator(n, periodic=True, alpha=1.0)
+        g = filt(smooth + nyquist)
+        # the odd-even mode is gone ...
+        gh = np.fft.rfft(g)
+        assert abs(gh[n // 2]) < 1e-11 * n
+        # ... while low-wavenumber content passes within the transfer
+        # bound: each |k| <= 3 mode is damped by at most sin(3 pi/n)^10
+        bound = 6.0 * np.sin(3 * np.pi / n) ** 10 + 1e-12
+        assert np.abs(g - smooth).max() <= bound
+
+
 class TestDecompositionProperties:
     @given(
         n=st.integers(min_value=1, max_value=200),

@@ -91,6 +91,7 @@ class TestFreestreamPreservation:
 
 
 class TestViscousDissipation:
+    @pytest.mark.slow
     def test_shear_layer_decays(self, air_mech_mod, air_y_mod):
         """A sinusoidal shear profile decays at the viscous rate."""
         mech, Y = air_mech_mod, air_y_mod
@@ -138,6 +139,7 @@ class TestNSCBC:
         # after one crossing both pulses have exited; residual < 3 %
         assert np.abs(p - P_ATM).max() / (1e-3 * P_ATM) < 0.03
 
+    @pytest.mark.slow
     def test_long_time_stability(self, air_mech_mod, air_y_mod):
         mech, Y = air_mech_mod, air_y_mod
         grid = Grid((64,), (0.5,), periodic=(False,))

@@ -54,6 +54,7 @@ class TestConstVolumeReactor:
 
 
 class TestIgnitionDelay:
+    @pytest.mark.slow
     def test_monotone_decreasing_with_temperature(self, h2_mech, h2_air_stoich):
         """The autoignition physics behind §6: hotter mixtures ignite faster."""
         taus = [
