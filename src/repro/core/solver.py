@@ -129,6 +129,27 @@ class S3DSolver:
                     self.insitu_hook(self.step_count, self.time, self.state)
         return self.state
 
+    def run_resilient(self, fs, n_steps: int, checkpoint_interval: int = 5,
+                      **kwargs):
+        """Advance ``n_steps`` under the self-healing supervisor.
+
+        Checkpoints land in a verified ring on ``fs`` every
+        ``checkpoint_interval`` steps; recoverable faults (injected
+        crashes, I/O failures past their retry budget, corrupt
+        checkpoints) trigger rollback to the newest verified checkpoint
+        and a bit-exact replay. Returns the supervisor's
+        :class:`~repro.resilience.supervisor.RunReport`; further
+        keywords (``ring``, ``keep``, ``max_recoveries``, ``injector``,
+        ...) pass through to
+        :func:`~repro.resilience.supervisor.run_resilient`.
+        """
+        from repro.resilience.supervisor import run_resilient
+
+        return run_resilient(self, fs, n_steps,
+                             checkpoint_interval=checkpoint_interval,
+                             telemetry=kwargs.pop("telemetry", self.telemetry),
+                             **kwargs)
+
     def record_monitor(self) -> dict:
         """Record per-variable min/max (§9's ASCII monitoring data)."""
         mm = self.state.min_max()

@@ -31,6 +31,11 @@ from repro.io.mpiio import independent_write, collective_write
 from repro.io.caching import MPIIOCache
 from repro.io.writebehind import TwoStageWriteBehind
 from repro.io.s3dio import S3DCheckpoint, run_checkpoint_benchmark
+from repro.io.restart import (
+    load_solver_state,
+    save_solver_state,
+    verify_solver_state,
+)
 
 __all__ = [
     "SimFileSystem",
@@ -45,4 +50,7 @@ __all__ = [
     "TwoStageWriteBehind",
     "S3DCheckpoint",
     "run_checkpoint_benchmark",
+    "save_solver_state",
+    "load_solver_state",
+    "verify_solver_state",
 ]

@@ -31,6 +31,9 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.resilience.errors import TornWriteError, TransientIOError
+from repro.resilience.faults import resolve_injector
+
 
 @dataclass
 class FSConfig:
@@ -124,10 +127,20 @@ class TimeBreakdown:
 
 
 class SimFileSystem:
-    """Functionally-correct file store with a parallel-FS cost model."""
+    """Functionally-correct file store with a parallel-FS cost model.
 
-    def __init__(self, config: FSConfig):
+    Fault injection (off by default, zero-cost when disabled): pass a
+    :class:`~repro.resilience.faults.FaultInjector` and arm rules at
+    the sites ``fs.open`` (transient open errors), ``fs.write``
+    (``error`` = transient phase failure before any byte lands,
+    ``torn`` = a partial phase lands then :class:`TornWriteError`),
+    and ``fs.read`` (``error`` = transient read failure, ``stale`` =
+    deterministically corrupted bytes returned once).
+    """
+
+    def __init__(self, config: FSConfig, fault_injector=None):
         self.config = config
+        self.faults = resolve_injector(fault_injector)
         self._files: dict = {}
         self.time = TimeBreakdown()
         self.opens = 0
@@ -149,6 +162,8 @@ class SimFileSystem:
         mass creation); each joining client pays ``client_open_cost``.
         """
         cfg = self.config
+        if self.faults.enabled and self.faults.decide("fs.open") is not None:
+            raise TransientIOError(f"injected open failure for {path!r}")
         fresh = path not in self._files
         cost = 0.0
         if fresh:
@@ -170,6 +185,12 @@ class SimFileSystem:
         self.time.transfer += length / self.config.server_bandwidth / max(
             1, self.config.n_servers
         )
+        if self.faults.enabled:
+            spec = self.faults.decide("fs.read")
+            if spec is not None:
+                if spec.mode == "stale":
+                    return self.faults.corrupt_bytes(out)
+                raise TransientIOError(f"injected read failure for {path!r}")
         return out
 
     def file_bytes(self, path: str) -> bytes:
@@ -177,6 +198,49 @@ class SimFileSystem:
 
     def file_size(self, path: str) -> int:
         return len(self._files[path])
+
+    def listdir(self, prefix: str = "") -> list:
+        """Paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomic metadata-only rename (the commit step of atomic
+        write-then-rename checkpointing); overwrites ``new``."""
+        if old not in self._files:
+            raise FileNotFoundError(old)
+        self._files[new] = self._files.pop(old)
+        if old in self._meta_sizes:
+            self._meta_sizes[new] = self._meta_sizes.pop(old)
+        self.time.open += self.config.open_base
+
+    def unlink(self, path: str) -> None:
+        """Remove a file (checkpoint-ring pruning)."""
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        del self._files[path]
+        self._meta_sizes.pop(path, None)
+        self.time.open += self.config.open_base
+
+    def corrupt(self, path: str, offset: int = 0, n_bytes: int = 8) -> None:
+        """Flip ``n_bytes`` bytes in place (test/fault-drill helper —
+        models silent media corruption of a file at rest)."""
+        buf = self._files[path]
+        for i in range(offset, min(offset + n_bytes, len(buf))):
+            buf[i] ^= 0xFF
+
+    def _tear(self, requests) -> int:
+        """Land a prefix of ``requests`` with the last one truncated —
+        the on-disk picture a node crash mid-phase leaves behind.
+        Returns how many requests (fully or partially) landed."""
+        n_landed = max(1, len(requests) // 2)
+        for i, r in enumerate(requests[:n_landed]):
+            data = r.data if i < n_landed - 1 else r.data[: max(1, len(r.data) // 2)]
+            buf = self._files[r.path]
+            end = r.offset + len(data)
+            if len(buf) < end:
+                buf.extend(b"\x00" * (end - len(buf)))
+            buf[r.offset : end] = data
+        return n_landed
 
     # -- data path ---------------------------------------------------------
     def phase_write(self, requests, independent: bool = False) -> float:
@@ -193,6 +257,18 @@ class SimFileSystem:
         cfg = self.config
         if not requests:
             return 0.0
+        if self.faults.enabled:
+            spec = self.faults.decide("fs.write")
+            if spec is not None:
+                if spec.mode == "torn":
+                    torn = self._tear(requests)
+                    raise TornWriteError(
+                        f"injected torn write: {torn} of {len(requests)} "
+                        "requests landed (last one partial)"
+                    )
+                raise TransientIOError(
+                    f"injected write-phase failure ({len(requests)} requests)"
+                )
         eff = cfg.independent_efficiency if independent else 1.0
         # functional effect
         for r in requests:

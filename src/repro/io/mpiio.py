@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.io.filesystem import WriteRequest
+from repro.resilience.retry import DEFAULT_RETRY, fs_backoff_sleep
 from repro.telemetry import resolve as resolve_telemetry
 
 #: simulated interconnect for redistribution traffic
@@ -26,19 +27,29 @@ NETWORK_BANDWIDTH = 200e6  # B/s per link
 NETWORK_LATENCY = 2e-5     # s per message
 
 
-def independent_write(fs, layout, global_array, path: str, telemetry=None) -> float:
-    """Every rank writes its runs directly (MPI_File_write_at)."""
+def independent_write(fs, layout, global_array, path: str, telemetry=None,
+                      retry=None) -> float:
+    """Every rank writes its runs directly (MPI_File_write_at).
+
+    Transient/torn file-system faults are reissued under ``retry`` (a
+    :class:`~repro.resilience.retry.RetryPolicy`; the shared default
+    when None) — write phases are idempotent, so a replay converges.
+    """
     tel = resolve_telemetry(telemetry)
+    policy = retry if retry is not None else DEFAULT_RETRY
+    sleep = fs_backoff_sleep(fs)
     t0 = fs.elapsed()
     open_before = fs.time.open
-    fs.open(path, n_clients=layout.n_ranks)
+    policy.call(fs.open, path, n_clients=layout.n_ranks,
+                label=f"open:{path}", telemetry=tel, sleep=sleep)
     tel.histogram("io.open_time").observe(fs.time.open - open_before)
     requests = []
     for rank in range(layout.n_ranks):
         block = layout.local_block(global_array, rank)
         for off, data in layout.rank_requests(rank, block):
             requests.append(WriteRequest(rank, path, off, data))
-    fs.phase_write(requests, independent=True)
+    policy.call(fs.phase_write, requests, independent=True,
+                label=f"write:{path}", telemetry=tel, sleep=sleep)
     elapsed = fs.elapsed() - t0
     tel.counter("io.mpiio.bytes").inc(sum(len(r.data) for r in requests))
     tel.counter("io.mpiio.requests").inc(len(requests))
@@ -47,17 +58,23 @@ def independent_write(fs, layout, global_array, path: str, telemetry=None) -> fl
 
 
 def collective_write(fs, layout, global_array, path: str,
-                     aggregators: int | None = None, telemetry=None) -> float:
+                     aggregators: int | None = None, telemetry=None,
+                     retry=None) -> float:
     """Two-phase collective write (MPI_File_write_all).
 
     Returns elapsed simulated time including the redistribution phase.
+    Transient/torn FS faults retry under ``retry`` like
+    :func:`independent_write`.
     """
     tel = resolve_telemetry(telemetry)
+    policy = retry if retry is not None else DEFAULT_RETRY
+    sleep = fs_backoff_sleep(fs)
     t0 = fs.elapsed()
     n_ranks = layout.n_ranks
     n_agg = aggregators or n_ranks
     open_before = fs.time.open
-    fs.open(path, n_clients=n_ranks)
+    policy.call(fs.open, path, n_clients=n_ranks,
+                label=f"open:{path}", telemetry=tel, sleep=sleep)
     tel.histogram("io.open_time").observe(fs.time.open - open_before)
     total = layout.total_bytes
     domain = -(-total // n_agg)  # ceil
@@ -102,7 +119,8 @@ def collective_write(fs, layout, global_array, path: str,
                 merged_off, merged = off, bytearray(data)
         if merged_off is not None:
             requests.append(WriteRequest(agg, path, merged_off, bytes(merged)))
-    fs.phase_write(requests)
+    policy.call(fs.phase_write, requests,
+                label=f"write:{path}", telemetry=tel, sleep=sleep)
     elapsed = fs.elapsed() - t0
     tel.counter("io.mpiio.bytes").inc(sum(len(r.data) for r in requests))
     tel.counter("io.mpiio.requests").inc(len(requests))

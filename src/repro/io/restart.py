@@ -10,11 +10,15 @@ system.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.io.filesystem import WriteRequest
 from repro.io.layout import BlockLayout
 from repro.io.s3dio import CHECKPOINT_VARS
+from repro.resilience.errors import RestartCorruptionError
+from repro.resilience.retry import DEFAULT_RETRY, fs_backoff_sleep
 from repro.telemetry import resolve as resolve_telemetry
 
 
@@ -44,56 +48,176 @@ def read_rank_block(fs, path: str, layout: BlockLayout, rank: int) -> np.ndarray
     return block
 
 
-#: header of a conserved-state restart file: magic, version
+#: magic / version of a conserved-state restart file
 _RESTART_MAGIC = 0x53334452  # "S3DR"
+_RESTART_VERSION = 2
+#: fixed int64 prefix: magic, version, step, nvar, ndim
+_FIXED_HEAD = 5
 
 
-def save_solver_state(fs, solver, path: str, telemetry=None) -> None:
+def save_solver_state(fs, solver, path: str, telemetry=None,
+                      retry=None) -> None:
     """Write a solver's *conserved* state verbatim (bit-exact restart).
 
     Unlike the primitive-variable checkpoint (which round-trips through
     the EOS), this path serializes the raw conserved array plus the
-    solver clock, so a reload reproduces the run bitwise. Layout:
-    int64 header ``[magic, step, nvar, ndim, *shape]``, float64 time,
-    then the conserved array bytes in C order.
+    solver clock, so a reload reproduces the run bitwise. Layout
+    (format version 2): int64 header ``[magic, version, step, nvar,
+    ndim, *shape, payload_nbytes, tcache_flag, crc32]``, float64 time,
+    the conserved array bytes in C order, then (when ``tcache_flag`` is
+    1) the cached Newton temperature field — replaying from a restart
+    must seed the temperature solve with the same initial guess the
+    uninterrupted run had, or the replay diverges in the last bit. The
+    CRC covers everything after the int64 header (time, payload, and
+    cache), so :func:`load_solver_state` detects truncation and silent
+    corruption before touching the solver.
     """
     tel = resolve_telemetry(telemetry)
     u = solver.state.u
+    body = np.ascontiguousarray(u).tobytes()
+    t_cache = getattr(solver.state, "_t_cache", None)
+    if t_cache is not None and t_cache.shape == u.shape[1:]:
+        cache_bytes = np.ascontiguousarray(t_cache, dtype=np.float64).tobytes()
+    else:
+        cache_bytes = b""
+    blob = np.float64(solver.time).tobytes() + body + cache_bytes
     header = np.array(
-        [_RESTART_MAGIC, solver.step_count, u.shape[0], u.ndim - 1]
-        + list(u.shape[1:]),
+        [_RESTART_MAGIC, _RESTART_VERSION, solver.step_count, u.shape[0],
+         u.ndim - 1] + list(u.shape[1:])
+        + [len(body), 1 if cache_bytes else 0, zlib.crc32(blob)],
         dtype=np.int64,
     )
-    payload = header.tobytes() + np.float64(solver.time).tobytes() \
-        + np.ascontiguousarray(u).tobytes()
+    payload = header.tobytes() + blob
+    policy = retry if retry is not None else DEFAULT_RETRY
+    sleep = fs_backoff_sleep(fs)
     open_before = fs.time.open
-    fs.open(path, n_clients=1)
+    policy.call(fs.open, path, n_clients=1, label=f"open:{path}",
+                telemetry=tel, sleep=sleep)
     tel.histogram("io.open_time").observe(fs.time.open - open_before)
-    fs.phase_write([WriteRequest(0, path, 0, payload)])
+    policy.call(fs.phase_write, [WriteRequest(0, path, 0, payload)],
+                label=f"write:{path}", telemetry=tel, sleep=sleep)
     tel.counter("io.restart.bytes").inc(len(payload))
 
 
 def load_solver_state(fs, solver, path: str) -> None:
     """Restore a solver's conserved state written by
     :func:`save_solver_state` — bit-identical, including time and step.
+
+    Validates magic, version, shape, payload length, and payload CRC
+    *before* deserializing, raising :class:`RestartCorruptionError`
+    (a ``ValueError``) with the failing field instead of surfacing a
+    bare numpy reshape/frombuffer error; the solver is untouched on any
+    failure.
     """
     u = solver.state.u
-    n_head = 4 + (u.ndim - 1)
-    raw = fs.read(path, 0, 8 * (n_head + 1) + u.nbytes)
-    header = np.frombuffer(raw[: 8 * n_head], dtype=np.int64)
-    if header[0] != _RESTART_MAGIC:
-        raise ValueError(f"{path!r} is not a conserved-state restart file")
-    if tuple(header[2:]) != (u.shape[0], u.ndim - 1) + u.shape[1:]:
-        raise ValueError(
-            f"restart shape {tuple(header[2:])} does not match solver state"
+    if not fs.exists(path):
+        raise FileNotFoundError(path)
+    fixed = np.frombuffer(fs.read(path, 0, 8 * _FIXED_HEAD), dtype=np.int64)
+    if fixed[0] != _RESTART_MAGIC:
+        raise RestartCorruptionError(
+            f"{path!r} is not a conserved-state restart file "
+            f"(magic {int(fixed[0]):#x})"
         )
-    solver.step_count = int(header[1])
-    solver.time = float(np.frombuffer(raw[8 * n_head : 8 * (n_head + 1)],
-                                      dtype=np.float64)[0])
-    flat = np.frombuffer(raw[8 * (n_head + 1) :], dtype=np.float64)
+    if fixed[1] != _RESTART_VERSION:
+        raise RestartCorruptionError(
+            f"{path!r}: unsupported restart format version {int(fixed[1])} "
+            f"(expected {_RESTART_VERSION})"
+        )
+    step, nvar, ndim = int(fixed[2]), int(fixed[3]), int(fixed[4])
+    if not 1 <= ndim <= 3:
+        raise RestartCorruptionError(
+            f"{path!r}: corrupt header (ndim = {ndim})"
+        )
+    n_head = _FIXED_HEAD + ndim + 3
+    header = np.frombuffer(fs.read(path, 0, 8 * n_head), dtype=np.int64)
+    shape = tuple(int(x) for x in header[_FIXED_HEAD:_FIXED_HEAD + ndim])
+    if (nvar, ndim) + shape != (u.shape[0], u.ndim - 1) + u.shape[1:]:
+        raise RestartCorruptionError(
+            f"restart shape {(nvar, ndim) + shape} does not match solver "
+            f"state {(u.shape[0], u.ndim - 1) + u.shape[1:]}"
+        )
+    nbytes, has_cache, crc = (int(header[n_head - 3]), int(header[n_head - 2]),
+                              int(header[n_head - 1]))
+    if nbytes != u.nbytes:
+        raise RestartCorruptionError(
+            f"{path!r}: payload length {nbytes} does not match solver "
+            f"state ({u.nbytes} bytes)"
+        )
+    if has_cache not in (0, 1):
+        raise RestartCorruptionError(
+            f"{path!r}: corrupt header (tcache flag = {has_cache})"
+        )
+    cache_nbytes = (nbytes // nvar) if has_cache else 0
+    total = 8 * (n_head + 1) + nbytes + cache_nbytes
+    if fs.file_size(path) < total:
+        raise RestartCorruptionError(
+            f"{path!r} is truncated: {fs.file_size(path)} bytes on disk, "
+            f"{total} expected"
+        )
+    raw = fs.read(path, 0, total)
+    blob = raw[8 * n_head:]
+    if zlib.crc32(blob) != crc & 0xFFFFFFFF:
+        raise RestartCorruptionError(
+            f"{path!r}: payload checksum mismatch "
+            f"(stored {crc:#010x}, computed {zlib.crc32(blob):#010x})"
+        )
+    solver.step_count = step
+    solver.time = float(np.frombuffer(blob[:8], dtype=np.float64)[0])
+    flat = np.frombuffer(blob[8:8 + nbytes], dtype=np.float64)
     solver.state.u[...] = flat.reshape(u.shape)
-    # drop the Newton cache: it must be rebuilt from the restored state
-    solver.state._t_cache = None
+    if has_cache:
+        # restore the Newton temperature cache: the next temperature
+        # solve must start from the same guess the saved run would have
+        # used, or the replay is no longer bit-exact
+        cache = np.frombuffer(blob[8 + nbytes:], dtype=np.float64)
+        solver.state._t_cache = cache.reshape(u.shape[1:]).copy()
+    else:
+        solver.state._t_cache = None
+
+
+def verify_solver_state(fs, path: str) -> dict:
+    """Integrity-check a restart file without a solver: returns
+    ``{"step", "nvar", "shape", "nbytes"}`` or raises
+    :class:`RestartCorruptionError` / ``FileNotFoundError``."""
+    if not fs.exists(path):
+        raise FileNotFoundError(path)
+    fixed = np.frombuffer(fs.read(path, 0, 8 * _FIXED_HEAD), dtype=np.int64)
+    if fixed[0] != _RESTART_MAGIC:
+        raise RestartCorruptionError(
+            f"{path!r} is not a conserved-state restart file"
+        )
+    if fixed[1] != _RESTART_VERSION:
+        raise RestartCorruptionError(
+            f"{path!r}: unsupported restart format version {int(fixed[1])}"
+        )
+    ndim = int(fixed[4])
+    if not 1 <= ndim <= 3:
+        raise RestartCorruptionError(f"{path!r}: corrupt header (ndim = {ndim})")
+    n_head = _FIXED_HEAD + ndim + 3
+    header = np.frombuffer(fs.read(path, 0, 8 * n_head), dtype=np.int64)
+    nbytes, has_cache, crc = (int(header[n_head - 3]), int(header[n_head - 2]),
+                              int(header[n_head - 1]))
+    if has_cache not in (0, 1):
+        raise RestartCorruptionError(
+            f"{path!r}: corrupt header (tcache flag = {has_cache})"
+        )
+    nvar = int(fixed[3])
+    cache_nbytes = (nbytes // max(nvar, 1)) if has_cache else 0
+    total = 8 * (n_head + 1) + nbytes + cache_nbytes
+    if fs.file_size(path) < total:
+        raise RestartCorruptionError(
+            f"{path!r} is truncated: {fs.file_size(path)} bytes on disk, "
+            f"{total} expected"
+        )
+    blob = fs.read(path, 8 * n_head, 8 + nbytes + cache_nbytes)
+    if zlib.crc32(blob) != crc & 0xFFFFFFFF:
+        raise RestartCorruptionError(f"{path!r}: payload checksum mismatch")
+    return {
+        "step": int(fixed[2]),
+        "nvar": int(fixed[3]),
+        "shape": tuple(int(x) for x in header[_FIXED_HEAD:_FIXED_HEAD + ndim]),
+        "nbytes": nbytes,
+    }
 
 
 def checkpoint_state(fs, checkpoint, solver, checkpoint_id: int,

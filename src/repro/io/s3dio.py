@@ -45,11 +45,16 @@ class S3DCheckpoint:
         Telemetry backend; checkpoint writes run under a ``CHECKPOINT``
         span and record ``io.checkpoint.bytes`` / ``io.checkpoint.count``
         counters alongside the per-method instruments.
+    retry:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` threaded
+        through to the shared-file write paths so transient injected
+        I/O faults are retried instead of aborting the checkpoint.
     """
 
     proc_shape: tuple
     block: tuple = (50, 50, 50)
     telemetry: object = None
+    retry: object = None
 
     def __post_init__(self):
         from repro.telemetry import resolve as resolve_telemetry
@@ -103,10 +108,12 @@ class S3DCheckpoint:
                 path = f"{name}.{checkpoint_id:04d}"
                 if method == "independent":
                     independent_write(fs, layout, arr, path,
-                                      telemetry=self.telemetry)
+                                      telemetry=self.telemetry,
+                                      retry=self.retry)
                 else:
                     collective_write(fs, layout, arr, path,
-                                     telemetry=self.telemetry)
+                                     telemetry=self.telemetry,
+                                     retry=self.retry)
             return fs.elapsed() - t0
         if method in ("caching", "writebehind"):
             for (name, _), layout, arr in zip(CHECKPOINT_VARS, self.layouts, arrays):
@@ -115,7 +122,8 @@ class S3DCheckpoint:
                     MPIIOCache(fs, path, self.n_ranks)
                     if method == "caching"
                     else TwoStageWriteBehind(fs, path, self.n_ranks,
-                                             telemetry=self.telemetry)
+                                             telemetry=self.telemetry,
+                                             retry=self.retry)
                 )
                 flush = [] if method == "caching" else None
                 for rank in range(self.n_ranks):

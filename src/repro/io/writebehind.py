@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.io.filesystem import WriteRequest
 from repro.io.network import NetworkModel
+from repro.resilience.retry import DEFAULT_RETRY, fs_backoff_sleep
 from repro.telemetry import resolve as resolve_telemetry
 
 DEFAULT_SUBBUFFER = 64 * 1024  # 64 kB (paper default)
@@ -40,7 +41,8 @@ class TwoStageWriteBehind:
 
     def __init__(self, fs, path: str, n_ranks: int, page_size: int | None = None,
                  subbuffer_size: int = DEFAULT_SUBBUFFER,
-                 network: NetworkModel | None = None, telemetry=None):
+                 network: NetworkModel | None = None, telemetry=None,
+                 retry=None):
         self.fs = fs
         self.path = path
         self.n_ranks = int(n_ranks)
@@ -48,10 +50,13 @@ class TwoStageWriteBehind:
         self.subbuffer_size = int(subbuffer_size)
         self.net = network or NetworkModel()
         self.telemetry = resolve_telemetry(telemetry)
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._c_bytes = self.telemetry.counter("io.writebehind.bytes")
         self._c_flushes = self.telemetry.counter("io.writebehind.flushes")
         open_before = fs.time.open
-        fs.open(path, n_clients=self.n_ranks)
+        self.retry.call(fs.open, path, n_clients=self.n_ranks,
+                        label=f"open:{path}", telemetry=self.telemetry,
+                        sleep=fs_backoff_sleep(fs))
         self.telemetry.histogram("io.open_time").observe(fs.time.open - open_before)
         # stage 1: per (rank, destination) accumulation
         self._sub: dict = {
@@ -141,7 +146,10 @@ class TwoStageWriteBehind:
                 )
             self._pages[owner].clear()
             self._page_dirty[owner].clear()
-        t = self.fs.phase_write(requests, independent=True)
+        t = self.retry.call(self.fs.phase_write, requests, independent=True,
+                            label=f"write:{self.path}",
+                            telemetry=self.telemetry,
+                            sleep=fs_backoff_sleep(self.fs))
         self.fs.time.overhead += net
         self.telemetry.histogram("io.writebehind.close_time").observe(t + net)
         return t + net

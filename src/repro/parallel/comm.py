@@ -19,6 +19,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.resilience.errors import MessageNotFoundError, RankFailedError
+from repro.resilience.faults import resolve_injector
+
 
 @dataclass
 class MessageRecord:
@@ -108,15 +111,27 @@ class SimMPI:
     Point-to-point messages flow through mailboxes keyed by
     (dest, source, tag). Collectives use a two-phase contribute/resolve
     protocol driven by :meth:`run_phases`.
+
+    Fault injection (off by default, zero-cost when disabled): pass a
+    :class:`~repro.resilience.faults.FaultInjector` and arm rules at
+    the ``mpi.send`` site — ``drop`` loses the message, ``corrupt``
+    flips payload bytes, ``delay`` parks it until
+    :meth:`deliver_delayed`, ``rank_failure`` kills the sending rank
+    (or ``detail={"rank": r}``); a failed rank makes every subsequent
+    operation touching it raise :class:`RankFailedError`.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, fault_injector=None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = int(size)
+        self.faults = resolve_injector(fault_injector)
         self._mailboxes: dict = defaultdict(deque)
         self.log = MessageLog()
         self._collect_buf: dict = {}
+        self._failed_ranks: set = set()
+        self._delayed: list = []  # (dest, source, tag, array)
+        self.dropped = 0
 
     def comm(self, rank: int) -> SimComm:
         if not 0 <= rank < self.size:
@@ -126,18 +141,83 @@ class SimMPI:
     def comms(self) -> list:
         return [self.comm(r) for r in range(self.size)]
 
+    # -- rank failure ------------------------------------------------------
+    def fail_rank(self, rank: int) -> None:
+        """Mark ``rank`` as failed: every later operation touching it
+        raises :class:`RankFailedError` (the MPI world view of a dead
+        node)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        self._failed_ranks.add(rank)
+
+    @property
+    def failed_ranks(self) -> set:
+        return set(self._failed_ranks)
+
+    def _check_alive(self, rank: int, role: str) -> None:
+        if rank in self._failed_ranks:
+            raise RankFailedError(f"{role} rank {rank} has failed")
+
     # -- internals -------------------------------------------------------
     def _send(self, source: int, dest: int, tag: int, array) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"destination rank {dest} out of range")
+        self._check_alive(source, "source")
+        self._check_alive(dest, "destination")
+        if self.faults.enabled:
+            spec = self.faults.decide("mpi.send")
+            if spec is not None:
+                if spec.mode == "rank_failure":
+                    victim = int(spec.detail.get("rank", source))
+                    self.fail_rank(victim)
+                    raise RankFailedError(
+                        f"rank {victim} failed during send "
+                        f"({source} -> {dest}, tag {tag})"
+                    )
+                if spec.mode == "drop":
+                    self.dropped += 1
+                    return
+                if spec.mode == "corrupt":
+                    raw = self.faults.corrupt_bytes(array.tobytes())
+                    array = np.frombuffer(raw, dtype=array.dtype).reshape(
+                        array.shape).copy()
+                elif spec.mode == "delay":
+                    self._delayed.append((dest, source, tag, array))
+                    self.log.record(source, dest, tag, array.nbytes)
+                    return
         self._mailboxes[(dest, source, tag)].append(array)
         self.log.record(source, dest, tag, array.nbytes)
 
+    def deliver_delayed(self) -> int:
+        """Deliver every delayed message (the late-packet flush);
+        returns how many arrived."""
+        n = len(self._delayed)
+        for dest, source, tag, array in self._delayed:
+            self._mailboxes[(dest, source, tag)].append(array)
+        self._delayed.clear()
+        return n
+
     def _recv(self, rank: int, source: int, tag: int):
+        self._check_alive(rank, "receiving")
+        self._check_alive(source, "source")
         box = self._mailboxes[(rank, source, tag)]
         if not box:
-            raise RuntimeError(
-                f"rank {rank}: no pending message from {source} with tag {tag}"
+            pending = {
+                (s, t): len(q)
+                for (d, s, t), q in self._mailboxes.items()
+                if d == rank and q
+            }
+            state = (
+                ", ".join(f"from rank {s} tag {t}: {n} queued"
+                          for (s, t), n in sorted(pending.items()))
+                or "mailbox empty"
+            )
+            delayed = sum(1 for d, *_ in self._delayed if d == rank)
+            if delayed:
+                state += f"; {delayed} delayed message(s) undelivered"
+            raise MessageNotFoundError(
+                f"rank {rank}: no pending message from rank {source} with "
+                f"tag {tag} (pending for rank {rank}: {state})"
             )
         return box.popleft()
 

@@ -1,0 +1,162 @@
+"""Verified checkpoint ring: atomic writes, CRC validation, fallback.
+
+Long DNS campaigns never trust a single restart file: a checkpoint that
+tears during a node failure must not take the previous good one with
+it. :class:`CheckpointRing` keeps the last ``keep`` *verified*
+conserved-state checkpoints of a solver on a simulated file system:
+
+* **atomic write-then-rename** — each save lands in a ``.tmp`` file,
+  is read back and CRC-verified, and only then renamed to its final
+  ring slot, so a torn or interrupted save can never shadow a good
+  checkpoint;
+* **bounded retry** — transient/torn write faults during the save are
+  reissued under a :class:`~repro.resilience.retry.RetryPolicy`
+  (write phases are idempotent: fixed offsets), with backoff charged
+  to the simulated FS clock;
+* **verified fallback** — :meth:`restore_state` walks the ring newest
+  to oldest, restoring from the first checkpoint that passes
+  validation and reporting which one it used and how many corrupt ones
+  it skipped.
+
+Telemetry: ``resilience.checkpoints_written``,
+``resilience.checkpoint_fallbacks``, ``resilience.retries`` (via the
+retry policy), and a ``CHECKPOINT_VERIFY`` span per verification.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import (
+    ResilienceExhaustedError,
+    RestartCorruptionError,
+    TransientIOError,
+)
+from repro.resilience.retry import RetryPolicy, fs_backoff_sleep
+from repro.telemetry import resolve as resolve_telemetry
+
+__all__ = ["CheckpointRing"]
+
+
+class CheckpointRing:
+    """Ring of the last ``keep`` verified solver checkpoints."""
+
+    def __init__(self, fs, prefix: str = "resilient", keep: int = 3,
+                 retry: RetryPolicy | None = None, telemetry=None):
+        if keep < 1:
+            raise ValueError("checkpoint ring must keep at least 1 entry")
+        self.fs = fs
+        self.prefix = prefix
+        self.keep = int(keep)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.telemetry = resolve_telemetry(telemetry)
+        self._c_written = self.telemetry.counter("resilience.checkpoints_written")
+        self._c_fallbacks = self.telemetry.counter("resilience.checkpoint_fallbacks")
+        #: (step, path) of verified checkpoints, oldest first
+        self._entries: list = []
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> str:
+        return f"{self.prefix}.{step:08d}.ckpt"
+
+    @property
+    def tmp_path(self) -> str:
+        return f"{self.prefix}.tmp"
+
+    def entries(self) -> list:
+        """Verified ring contents: list of (step, path), oldest first."""
+        return list(self._entries)
+
+    @property
+    def newest_step(self) -> int | None:
+        return self._entries[-1][0] if self._entries else None
+
+    # ------------------------------------------------------------------
+    def save(self, solver) -> str:
+        """Checkpoint ``solver`` into the ring; returns the final path.
+
+        The write + read-back verification runs as one retryable unit:
+        a transient or torn write fault simply reissues the attempt.
+        Only a checkpoint that verifies is renamed into the ring.
+        """
+        from repro.io.restart import save_solver_state, verify_solver_state
+
+        tmp = self.tmp_path
+
+        def attempt():
+            save_solver_state(self.fs, solver, tmp, telemetry=self.telemetry)
+            with self.telemetry.span("CHECKPOINT_VERIFY"):
+                verify_solver_state(self.fs, tmp)
+
+        self.retry.call(
+            attempt, label=f"ckpt.{solver.step_count}",
+            telemetry=self.telemetry, sleep=fs_backoff_sleep(self.fs),
+        )
+        step = solver.step_count
+        final = self.path_for(step)
+        self.fs.rename(tmp, final)
+        # a rollback-and-replay pass re-saves steps the abandoned
+        # timeline already checkpointed: replace, don't duplicate
+        for _, stale in [e for e in self._entries if e[0] >= step]:
+            if stale != final and self.fs.exists(stale):
+                self.fs.unlink(stale)
+        self._entries = [e for e in self._entries if e[0] < step]
+        self._entries.append((step, final))
+        while len(self._entries) > self.keep:
+            _, old = self._entries.pop(0)
+            if self.fs.exists(old):
+                self.fs.unlink(old)
+        self._c_written.inc()
+        return final
+
+    # ------------------------------------------------------------------
+    def restore_state(self, solver) -> dict:
+        """Restore the newest checkpoint that passes validation.
+
+        Walks the ring newest to oldest; corrupt or unreadable entries
+        are skipped (and counted as fallbacks). Returns a report
+        ``{"step", "path", "fallbacks", "skipped"}`` naming the
+        checkpoint actually used, or raises
+        :class:`ResilienceExhaustedError` when nothing verifies.
+        """
+        from repro.io.restart import load_solver_state
+
+        skipped: list = []
+        for step, path in reversed(self._entries):
+            try:
+                load_solver_state(self.fs, solver, path)
+            except (RestartCorruptionError, TransientIOError,
+                    FileNotFoundError) as err:
+                skipped.append((path, f"{type(err).__name__}: {err}"))
+                self._c_fallbacks.inc()
+                continue
+            return {
+                "step": step,
+                "path": path,
+                "fallbacks": len(skipped),
+                "skipped": skipped,
+            }
+        raise ResilienceExhaustedError(
+            f"no verified checkpoint in ring {self.prefix!r}: "
+            + (f"all {len(skipped)} candidates failed: {skipped}"
+               if skipped else "ring is empty")
+        )
+
+    #: alias matching the supervisor's vocabulary
+    restore_latest = restore_state
+
+    def drop_corrupt(self) -> int:
+        """Prune ring entries that no longer verify; returns the count
+        removed (a scrub pass a maintenance window would run)."""
+        from repro.io.restart import verify_solver_state
+
+        kept, removed = [], 0
+        for step, path in self._entries:
+            try:
+                verify_solver_state(self.fs, path)
+                kept.append((step, path))
+            except (RestartCorruptionError, FileNotFoundError,
+                    TransientIOError):
+                removed += 1
+                if self.fs.exists(path):
+                    self.fs.unlink(path)
+        self._entries = kept
+        return removed

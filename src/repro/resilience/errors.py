@@ -1,0 +1,64 @@
+"""Exception taxonomy of the resilience subsystem.
+
+The classes split faults by *recovery action*, which is what the retry
+and supervisor layers dispatch on:
+
+* :class:`TransientIOError` — the operation may simply be reissued
+  (lost RPC, transient server error). Retryable.
+* :class:`TornWriteError` — a write phase landed partially; reissuing
+  the same phase overwrites the torn region, so it is retryable too,
+  but the file must be treated as suspect until verified.
+* :class:`RestartCorruptionError` — a checkpoint failed validation
+  (bad magic/version, truncation, checksum mismatch). Not retryable:
+  the reader must fall back to an older checkpoint. Subclasses
+  ``ValueError`` so pre-existing callers catching ``ValueError`` on
+  malformed restart files keep working.
+* :class:`FaultInjectedError` — raised by injection sites that model a
+  crashed computation (e.g. a rank failure mid-step); the supervisor
+  answers with rollback-and-replay.
+* :class:`RankFailedError` — communication with a failed rank.
+* :class:`MessageNotFoundError` — a receive found no matching message;
+  carries the rank's pending-queue state in its message.
+* :class:`ResilienceExhaustedError` — recovery itself ran out of
+  options (no verified checkpoint left, or the recovery budget spent).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TransientIOError",
+    "TornWriteError",
+    "RestartCorruptionError",
+    "FaultInjectedError",
+    "RankFailedError",
+    "MessageNotFoundError",
+    "ResilienceExhaustedError",
+]
+
+
+class TransientIOError(OSError):
+    """A file-system operation failed transiently; safe to reissue."""
+
+
+class TornWriteError(TransientIOError):
+    """A write phase landed only partially (torn write)."""
+
+
+class RestartCorruptionError(ValueError):
+    """A restart/checkpoint file failed integrity validation."""
+
+
+class FaultInjectedError(RuntimeError):
+    """An injected computational fault (crash/rank loss) fired."""
+
+
+class RankFailedError(RuntimeError):
+    """An operation touched a rank marked as failed."""
+
+
+class MessageNotFoundError(RuntimeError):
+    """A receive matched no pending message."""
+
+
+class ResilienceExhaustedError(RuntimeError):
+    """Recovery machinery ran out of checkpoints or retry budget."""

@@ -1,0 +1,159 @@
+"""Self-healing run driver: rollback-and-replay over a checkpoint ring.
+
+:func:`run_resilient` advances a solver a fixed number of steps the way
+a production campaign shepherds a terascale run: checkpoints land in a
+verified :class:`~repro.resilience.checkpoint.CheckpointRing` every
+``checkpoint_interval`` steps, and any recoverable fault — an injected
+computational fault at the ``solver.step`` site, an I/O fault that
+survived its retry budget, a corrupt checkpoint — triggers a rollback
+to the newest checkpoint that verifies, followed by a deterministic
+replay. Because the conserved-state restart is bit-exact, a recovered
+run reaches the same final state, bit for bit, as an undisturbed run of
+the same step count (the property the resilience test suite asserts).
+
+Telemetry: ``resilience.recoveries`` / ``resilience.replayed_steps``
+counters and a ``RECOVERY`` span per rollback, alongside the fault and
+retry counters the lower layers record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.checkpoint import CheckpointRing
+from repro.resilience.errors import (
+    FaultInjectedError,
+    ResilienceExhaustedError,
+    RestartCorruptionError,
+    TransientIOError,
+)
+from repro.resilience.faults import resolve_injector
+from repro.telemetry import resolve as resolve_telemetry
+
+__all__ = ["RecoveryEvent", "RunReport", "run_resilient"]
+
+#: fault classes the supervisor answers with rollback-and-replay
+RECOVERABLE = (FaultInjectedError, TransientIOError, RestartCorruptionError)
+
+
+@dataclass
+class RecoveryEvent:
+    """One rollback: what failed, where we resumed from."""
+
+    at_step: int
+    error: str
+    restored_step: int
+    restored_path: str
+    fallbacks: int
+
+
+@dataclass
+class RunReport:
+    """Outcome of a resilient run."""
+
+    steps_completed: int = 0
+    recoveries: int = 0
+    replayed_steps: int = 0
+    checkpoints_written: int = 0
+    checkpoint_fallbacks: int = 0
+    faults_seen: int = 0
+    history: list = field(default_factory=list)
+    #: the CheckpointRing the run checkpointed into (inspect/restore)
+    ring: object = None
+
+    @property
+    def clean(self) -> bool:
+        return self.recoveries == 0
+
+
+def run_resilient(solver, fs, n_steps: int, *, checkpoint_interval: int = 5,
+                  ring: CheckpointRing | None = None,
+                  prefix: str = "resilient", keep: int = 3,
+                  max_recoveries: int = 20, injector=None,
+                  monitor_interval: int = 0, telemetry=None) -> RunReport:
+    """Advance ``solver`` ``n_steps`` steps, recovering from faults.
+
+    Parameters
+    ----------
+    solver:
+        An :class:`~repro.core.solver.S3DSolver` (advanced in place).
+    fs:
+        The :class:`~repro.io.filesystem.SimFileSystem` holding the
+        checkpoint ring (and, when fault injection is armed on it, the
+        source of I/O faults).
+    checkpoint_interval:
+        Steps between ring checkpoints; also the worst-case replay
+        distance after a rollback.
+    ring:
+        An existing ring to resume into (default: a fresh one on
+        ``fs`` under ``prefix`` keeping ``keep`` entries).
+    max_recoveries:
+        Rollback budget; exceeding it raises
+        :class:`ResilienceExhaustedError` (a genuinely sick run must
+        surface, not spin).
+    injector:
+        Fault injector consulted at the ``solver.step`` site each step
+        (models a rank loss / node crash mid-integration). Defaults to
+        the injector attached to ``fs`` so one armed injector drives
+        both layers.
+    """
+    if checkpoint_interval < 1:
+        raise ValueError("checkpoint_interval must be >= 1")
+    tel = resolve_telemetry(telemetry if telemetry is not None
+                            else getattr(solver, "telemetry", None))
+    inj = resolve_injector(injector if injector is not None
+                           else getattr(fs, "faults", None))
+    ring = ring if ring is not None else CheckpointRing(
+        fs, prefix=prefix, keep=keep, telemetry=tel)
+    report = RunReport(ring=ring)
+    c_recoveries = tel.counter("resilience.recoveries")
+    c_replayed = tel.counter("resilience.replayed_steps")
+
+    target = solver.step_count + int(n_steps)
+    # a baseline checkpoint guarantees rollback is always possible,
+    # even before the first interval boundary
+    ring.save(solver)
+    report.checkpoints_written += 1
+
+    while solver.step_count < target:
+        try:
+            if inj.enabled:
+                spec = inj.decide("solver.step")
+                if spec is not None:
+                    raise FaultInjectedError(
+                        f"injected {spec.mode} fault at step "
+                        f"{solver.step_count}"
+                    )
+            solver.step()
+            if monitor_interval and solver.step_count % monitor_interval == 0:
+                solver.record_monitor()
+            if (solver.step_count % checkpoint_interval == 0
+                    or solver.step_count == target):
+                ring.save(solver)
+                report.checkpoints_written += 1
+        except RECOVERABLE as err:
+            report.recoveries += 1
+            report.faults_seen += 1
+            if report.recoveries > max_recoveries:
+                raise ResilienceExhaustedError(
+                    f"recovery budget ({max_recoveries}) exhausted at step "
+                    f"{solver.step_count}; last fault: {err}"
+                ) from err
+            failed_at = solver.step_count
+            with tel.span("RECOVERY"):
+                restored = ring.restore_state(solver)
+            replay = failed_at - restored["step"]
+            report.replayed_steps += max(0, replay)
+            report.checkpoint_fallbacks += restored["fallbacks"]
+            report.history.append(RecoveryEvent(
+                at_step=failed_at,
+                error=f"{type(err).__name__}: {err}",
+                restored_step=restored["step"],
+                restored_path=restored["path"],
+                fallbacks=restored["fallbacks"],
+            ))
+            c_recoveries.inc()
+            c_replayed.inc(max(0, replay))
+
+    report.steps_completed = solver.step_count
+    return report

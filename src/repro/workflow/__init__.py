@@ -23,8 +23,13 @@ simulation.
 
 from repro.workflow.actor import Actor, Port, Token
 from repro.workflow.graph import Workflow
-from repro.workflow.director import ProcessNetworkDirector
-from repro.workflow.environment import Environment, Machine, RemoteError
+from repro.workflow.director import ActorFiringError, ProcessNetworkDirector
+from repro.workflow.environment import (
+    Environment,
+    Machine,
+    RemoteError,
+    RemoteTimeoutError,
+)
 from repro.workflow.actors import (
     FileWatcher,
     ProcessFile,
@@ -44,9 +49,11 @@ __all__ = [
     "Token",
     "Workflow",
     "ProcessNetworkDirector",
+    "ActorFiringError",
     "Environment",
     "Machine",
     "RemoteError",
+    "RemoteTimeoutError",
     "FileWatcher",
     "ProcessFile",
     "Transfer",

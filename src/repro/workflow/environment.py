@@ -13,9 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.resilience.faults import resolve_injector
+
 
 class RemoteError(RuntimeError):
     """A remote command or transfer failed."""
+
+
+class RemoteTimeoutError(RemoteError):
+    """A remote command or transfer timed out (retryable like any
+    RemoteError; kept distinct so logs can tell hangs from faults)."""
 
 
 @dataclass
@@ -47,12 +54,23 @@ class Machine:
 
 
 class Environment:
-    """The machine fleet plus the wide-area network between them."""
+    """The machine fleet plus the wide-area network between them.
 
-    def __init__(self, link_bandwidth: float = 100e6, link_latency: float = 0.05):
+    Fault injection: :meth:`fail_next` arms one-shot failures by name
+    (the original knob the ProcessFile tests use); a seeded
+    :class:`~repro.resilience.faults.FaultInjector` arms *scheduled*
+    failures at the sites ``workflow.transfer`` and
+    ``workflow.command`` (or ``workflow.command.<name>`` for one
+    command), with mode ``timeout`` raising
+    :class:`RemoteTimeoutError` instead of a plain failure.
+    """
+
+    def __init__(self, link_bandwidth: float = 100e6, link_latency: float = 0.05,
+                 fault_injector=None):
         self.machines: dict = {}
         self.link_bandwidth = float(link_bandwidth)
         self.link_latency = float(link_latency)
+        self.faults = resolve_injector(fault_injector)
         self.transfer_time = 0.0
         self.transfer_bytes = 0
         self.command_time = 0.0
@@ -80,6 +98,17 @@ class Environment:
             self._fail_queue[kind] -= 1
             self.failures_injected += 1
             raise RemoteError(f"injected failure in {kind!r}")
+        if self.faults.enabled:
+            site = ("workflow.transfer" if kind == "transfer"
+                    else f"workflow.command.{kind}")
+            spec = self.faults.decide(site) or (
+                None if kind == "transfer" else self.faults.decide("workflow.command")
+            )
+            if spec is not None:
+                self.failures_injected += 1
+                if spec.mode == "timeout":
+                    raise RemoteTimeoutError(f"injected timeout in {kind!r}")
+                raise RemoteError(f"injected failure in {kind!r}")
 
     # ------------------------------------------------------------------
     def transfer(self, src: str, src_path: str, dst: str, dst_path: str,

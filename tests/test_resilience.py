@@ -1,0 +1,539 @@
+"""Tests for the fault-injection and recovery subsystem.
+
+The injector seed is taken from ``REPRO_FAULT_SEED`` (the CI
+fault-injection lane runs this file across several fixed seeds), so
+every recovery path must hold for *any* seed: specs are bounded with
+``count`` so retry budgets cover the worst case deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, S3DSolver, SolverConfig, ic
+from repro.core.config import periodic_boundaries
+from repro.io import SimFileSystem, lustre
+from repro.io.restart import (
+    load_solver_state,
+    save_solver_state,
+    verify_solver_state,
+)
+from repro.parallel.comm import SimMPI
+from repro.resilience import (
+    CheckpointRing,
+    FaultInjector,
+    MessageNotFoundError,
+    NULL_INJECTOR,
+    RankFailedError,
+    ResilienceExhaustedError,
+    RestartCorruptionError,
+    RetryPolicy,
+    TornWriteError,
+    TransientIOError,
+    run_resilient,
+    seed_from_env,
+)
+from repro.telemetry import Telemetry
+from repro.util.constants import P_ATM
+
+SEED = seed_from_env(0)
+
+
+def _pulse_solver(mech, Y, n=32, **cfg_kwargs):
+    grid = Grid((n,), (1.0,), periodic=(True,))
+    state = ic.pressure_pulse(mech, grid, p0=P_ATM, T0=300.0, Y=Y,
+                              amplitude=1e-3, width=0.05)
+    cfg = SolverConfig(boundaries=periodic_boundaries(1), dt=5e-8,
+                       filter_interval=2, filter_alpha=0.2, **cfg_kwargs)
+    return S3DSolver(state, cfg, transport=None, reacting=False)
+
+
+class TestFaultInjector:
+    def test_off_by_default(self):
+        fs = SimFileSystem(lustre())
+        assert fs.faults is NULL_INJECTOR
+        assert not fs.faults.enabled
+
+    def test_null_injector_rejects_arming(self):
+        with pytest.raises(RuntimeError, match="null injector"):
+            NULL_INJECTOR.add("fs.write")
+
+    def test_count_and_after_window(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.write", count=2, after=1)
+        fired = [inj.decide("fs.write") is not None for _ in range(6)]
+        assert fired == [False, True, True, False, False, False]
+        assert inj.fired == 2
+
+    def test_deterministic_given_seed(self):
+        def schedule(seed):
+            inj = FaultInjector(seed=seed)
+            inj.add("fs.write", probability=0.5, count=None)
+            return [inj.decide("fs.write") is not None for _ in range(64)]
+
+        assert schedule(SEED) == schedule(SEED)
+        # a different seed produces a different schedule (overwhelmingly)
+        assert schedule(SEED) != schedule(SEED + 1)
+
+    def test_wildcard_site(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.*", count=2)
+        assert inj.decide("fs.open") is not None
+        assert inj.decide("fs.write") is not None
+        assert inj.decide("fs.read") is None
+
+    def test_reset_replays_identically(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("x", probability=0.5, count=None)
+        first = [inj.decide("x") is not None for _ in range(32)]
+        inj.reset()
+        assert [inj.decide("x") is not None for _ in range(32)] == first
+
+    def test_telemetry_counter(self):
+        tel = Telemetry()
+        inj = FaultInjector(seed=SEED, telemetry=tel)
+        inj.add("x", count=3, probability=1.0)
+        for _ in range(5):
+            inj.decide("x")
+        assert tel.metrics.counter("resilience.faults_injected").value == 3
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        tel = Telemetry()
+        policy = RetryPolicy(max_attempts=4)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("boom")
+            return "ok"
+
+        assert policy.call(flaky, telemetry=tel) == "ok"
+        assert calls["n"] == 3
+        assert tel.metrics.counter("resilience.retries").value == 2
+
+    def test_exhausted_budget_reraises(self):
+        policy = RetryPolicy(max_attempts=2)
+
+        def always():
+            raise TransientIOError("persistent")
+
+        with pytest.raises(TransientIOError, match="persistent"):
+            policy.call(always)
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(fatal)
+        assert calls["n"] == 1
+
+    def test_backoff_grows_and_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_delay=1e-3, backoff=2.0, max_delay=1.0,
+                             jitter=0.25)
+        d1, d2, d3 = (policy.delay(k, "lbl") for k in (1, 2, 3))
+        assert d1 < d2 < d3
+        assert policy.delay(2, "lbl") == d2  # same attempt, same jitter
+
+    def test_backoff_charges_simulated_clock(self):
+        fs = SimFileSystem(lustre())
+        from repro.resilience import fs_backoff_sleep
+
+        before = fs.time.overhead
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TransientIOError("x")
+
+        RetryPolicy().call(flaky, sleep=fs_backoff_sleep(fs))
+        assert fs.time.overhead > before
+
+
+class TestFilesystemFaults:
+    def test_transient_open_error(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.open", count=1)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        with pytest.raises(TransientIOError, match="injected open"):
+            fs.open("f")
+        fs.open("f")  # next attempt succeeds
+        assert fs.exists("f")
+
+    def test_torn_write_lands_partially_then_retry_converges(self):
+        from repro.io.filesystem import WriteRequest
+
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.write", mode="torn", count=1)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        fs.open("f")
+        reqs = [WriteRequest(0, "f", 0, b"A" * 64),
+                WriteRequest(1, "f", 64, b"B" * 64)]
+        with pytest.raises(TornWriteError):
+            fs.phase_write(reqs)
+        assert fs.file_bytes("f") != b"A" * 64 + b"B" * 64  # torn
+        fs.phase_write(reqs)  # reissue overwrites the torn region
+        assert fs.file_bytes("f") == b"A" * 64 + b"B" * 64
+
+    def test_stale_read_returns_corrupt_bytes_once(self):
+        from repro.io.filesystem import WriteRequest
+
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.read", mode="stale", count=1)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        fs.open("f")
+        fs.phase_write([WriteRequest(0, "f", 0, b"payload-bytes" * 4)])
+        bad = fs.read("f", 0, 52)
+        good = fs.read("f", 0, 52)
+        assert bad != good
+        assert good == b"payload-bytes" * 4
+
+    def test_rename_is_atomic_commit(self):
+        from repro.io.filesystem import WriteRequest
+
+        fs = SimFileSystem(lustre())
+        fs.open("a.tmp")
+        fs.phase_write([WriteRequest(0, "a.tmp", 0, b"xyz")])
+        fs.rename("a.tmp", "a")
+        assert not fs.exists("a.tmp")
+        assert fs.file_bytes("a") == b"xyz"
+        with pytest.raises(FileNotFoundError):
+            fs.rename("missing", "b")
+
+    def test_unlink_and_listdir(self):
+        fs = SimFileSystem(lustre())
+        for p in ("r.1", "r.2", "q.1"):
+            fs.open(p)
+        assert fs.listdir("r.") == ["r.1", "r.2"]
+        fs.unlink("r.1")
+        assert fs.listdir("r.") == ["r.2"]
+        with pytest.raises(FileNotFoundError):
+            fs.unlink("r.1")
+
+    def test_s3dio_checkpoint_retries_transient_faults(self):
+        from repro.io import S3DCheckpoint
+
+        inj = FaultInjector(seed=SEED)
+        inj.add("fs.open", count=1)
+        inj.add("fs.write", count=2)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        ck = S3DCheckpoint(proc_shape=(2, 1, 1), block=(4, 4, 4),
+                           retry=RetryPolicy(max_attempts=5))
+        arrays = ck.synthetic_arrays(seed=0)
+        ck.write_checkpoint(fs, "independent", arrays, 0)
+        assert inj.fired == 3
+        # retried writes still land the canonical bytes
+        assert ck.verify(fs, "independent", arrays, 0)
+
+
+class TestSimMPIFaults:
+    def test_recv_error_names_pending_queue_state(self):
+        world = SimMPI(4)
+        world.comm(1).Send(np.arange(3.0), dest=0, tag=7)
+        with pytest.raises(MessageNotFoundError) as err:
+            world.comm(0).Recv(source=2, tag=9)
+        msg = str(err.value)
+        assert "no pending message from rank 2 with tag 9" in msg
+        assert "from rank 1 tag 7: 1 queued" in msg
+
+    def test_recv_error_on_empty_mailbox(self):
+        world = SimMPI(2)
+        with pytest.raises(MessageNotFoundError, match="mailbox empty"):
+            world.comm(0).Recv(source=1)
+
+    def test_dropped_message(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("mpi.send", mode="drop", count=1)
+        world = SimMPI(2, fault_injector=inj)
+        world.comm(0).Send(np.ones(4), dest=1)
+        assert world.dropped == 1
+        assert not world.comm(1).probe(source=0)
+        world.comm(0).Send(np.ones(4), dest=1)  # next one flows
+        np.testing.assert_array_equal(world.comm(1).Recv(source=0), np.ones(4))
+
+    def test_corrupted_message(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("mpi.send", mode="corrupt", count=1)
+        world = SimMPI(2, fault_injector=inj)
+        payload = np.arange(16.0)
+        world.comm(0).Send(payload, dest=1)
+        received = world.comm(1).Recv(source=0)
+        assert received.shape == payload.shape
+        assert not np.array_equal(received, payload)
+
+    def test_delayed_message(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("mpi.send", mode="delay", count=1)
+        world = SimMPI(2, fault_injector=inj)
+        world.comm(0).Send(np.ones(2), dest=1, tag=3)
+        assert not world.comm(1).probe(source=0, tag=3)
+        with pytest.raises(MessageNotFoundError, match="delayed message"):
+            world.comm(1).Recv(source=0, tag=3)
+        assert world.deliver_delayed() == 1
+        np.testing.assert_array_equal(world.comm(1).Recv(source=0, tag=3),
+                                      np.ones(2))
+
+    def test_rank_failure(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("mpi.send", mode="rank_failure", count=1, rank=1)
+        world = SimMPI(4, fault_injector=inj)
+        with pytest.raises(RankFailedError, match="rank 1 failed"):
+            world.comm(1).Send(np.ones(2), dest=2)
+        assert world.failed_ranks == {1}
+        # the dead rank poisons later traffic touching it
+        with pytest.raises(RankFailedError):
+            world.comm(0).Send(np.ones(2), dest=1)
+        with pytest.raises(RankFailedError):
+            world.comm(3).Recv(source=1)
+        # unrelated ranks keep communicating
+        world.comm(0).Send(np.ones(2), dest=2)
+        np.testing.assert_array_equal(world.comm(2).Recv(source=0), np.ones(2))
+
+
+class TestRestartValidation:
+    def test_truncated_file_is_descriptive(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "ckpt")
+        # truncate: keep header, drop most of the payload
+        fs._files["ckpt"] = fs._files["ckpt"][: 200]
+        with pytest.raises(RestartCorruptionError, match="truncated"):
+            load_solver_state(fs, solver, "ckpt")
+
+    def test_corrupt_payload_fails_checksum(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "ckpt")
+        fs.corrupt("ckpt", offset=fs.file_size("ckpt") - 64)
+        with pytest.raises(RestartCorruptionError, match="checksum mismatch"):
+            load_solver_state(fs, solver, "ckpt")
+
+    def test_corrupt_header_does_not_touch_solver(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "ckpt")
+        u_before = solver.state.u.copy()
+        t_before, n_before = solver.time, solver.step_count
+        fs.corrupt("ckpt", offset=0)  # smash the magic
+        with pytest.raises(RestartCorruptionError,
+                           match="not a conserved-state"):
+            load_solver_state(fs, solver, "ckpt")
+        np.testing.assert_array_equal(solver.state.u, u_before)
+        assert (solver.time, solver.step_count) == (t_before, n_before)
+
+    def test_missing_file(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        with pytest.raises(FileNotFoundError):
+            load_solver_state(fs, solver, "nope")
+
+    def test_verify_reports_metadata(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        for _ in range(3):
+            solver.step()
+        fs = SimFileSystem(lustre())
+        save_solver_state(fs, solver, "ckpt")
+        info = verify_solver_state(fs, "ckpt")
+        assert info["step"] == 3
+        assert info["shape"] == solver.state.u.shape[1:]
+        assert info["nbytes"] == solver.state.u.nbytes
+
+
+class TestCheckpointRing:
+    def test_ring_keeps_last_k(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        ring = CheckpointRing(fs, prefix="ring", keep=2)
+        for _ in range(3):
+            solver.step()
+            ring.save(solver)
+        steps = [s for s, _ in ring.entries()]
+        assert steps == [2, 3]
+        assert fs.listdir("ring.") == [ring.path_for(2), ring.path_for(3)]
+        assert not fs.exists(ring.path_for(1))
+
+    def test_atomic_save_never_leaves_tmp(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        ring = CheckpointRing(fs, prefix="ring")
+        ring.save(solver)
+        assert not fs.exists(ring.tmp_path)
+
+    def test_save_survives_torn_write(self, air_mech, air_y):
+        tel = Telemetry()
+        inj = FaultInjector(seed=SEED, telemetry=tel)
+        inj.add("fs.write", mode="torn", count=2)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        solver = _pulse_solver(air_mech, air_y)
+        ring = CheckpointRing(fs, prefix="ring", telemetry=tel)
+        path = ring.save(solver)
+        verify_solver_state(fs, path)  # landed intact despite the tear
+        assert tel.metrics.counter("resilience.retries").value > 0
+
+    def test_corrupt_newest_falls_back_to_previous(self, air_mech, air_y):
+        """Acceptance: corrupted newest ring entry -> restore_state uses
+        the previous verified checkpoint and reports which one."""
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        ring = CheckpointRing(fs, prefix="ring", keep=3)
+        for _ in range(2):
+            solver.step()
+            ring.save(solver)
+        newest = ring.path_for(2)
+        fs.corrupt(newest, offset=fs.file_size(newest) - 32)
+        report = ring.restore_state(solver)
+        assert report["step"] == 1
+        assert report["path"] == ring.path_for(1)
+        assert report["fallbacks"] == 1
+        assert report["skipped"][0][0] == newest
+        assert solver.step_count == 1
+
+    def test_all_corrupt_raises_exhausted(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        ring = CheckpointRing(fs, prefix="ring", keep=2)
+        for _ in range(2):
+            solver.step()
+            ring.save(solver)
+        for _, path in ring.entries():
+            fs.corrupt(path, offset=fs.file_size(path) - 16)
+        with pytest.raises(ResilienceExhaustedError, match="candidates failed"):
+            ring.restore_state(solver)
+
+    def test_drop_corrupt_scrubs_ring(self, air_mech, air_y):
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        ring = CheckpointRing(fs, prefix="ring", keep=3)
+        for _ in range(3):
+            solver.step()
+            ring.save(solver)
+        fs.corrupt(ring.path_for(2), offset=64)
+        assert ring.drop_corrupt() == 1
+        assert [s for s, _ in ring.entries()] == [1, 3]
+
+
+class TestResilientRun:
+    def _reference(self, mech, Y, n_steps):
+        ref = _pulse_solver(mech, Y)
+        for _ in range(n_steps):
+            ref.step()
+        return ref
+
+    def test_clean_run_matches_plain_run(self, air_mech, air_y):
+        ref = self._reference(air_mech, air_y, 8)
+        solver = _pulse_solver(air_mech, air_y)
+        fs = SimFileSystem(lustre())
+        report = run_resilient(solver, fs, 8, checkpoint_interval=3)
+        assert report.clean
+        assert report.steps_completed == 8
+        assert np.array_equal(solver.state.u, ref.state.u)
+
+    def test_end_to_end_recovery_bit_identical(self, air_mech, air_y):
+        """Acceptance: injected FS write faults + one mid-run fault over
+        a corrupted newest checkpoint -> the run completes via
+        rollback-and-replay, bit-identical to an uninjected run, with
+        faults/retries/recoveries counters all > 0."""
+        n_steps = 12
+        ref = self._reference(air_mech, air_y, n_steps)
+
+        tel = Telemetry()
+        inj = FaultInjector(seed=SEED, telemetry=tel)
+        # transient write faults: count=2 < max_attempts so the retry
+        # budget always covers them, whatever the seed interleaving
+        inj.add("fs.write", mode="error", probability=0.5, count=2)
+        # one computational fault partway through the run
+        inj.add("solver.step", count=1, after=7)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        solver = _pulse_solver(air_mech, air_y)
+
+        ring = CheckpointRing(fs, prefix="res", keep=3, telemetry=tel)
+        # corrupt the newest checkpoint as soon as two exist, so the
+        # mid-run recovery must fall back to the older one
+        corrupted = {"done": False}
+        original_save = ring.save
+
+        def save_and_maybe_corrupt(s):
+            path = original_save(s)
+            if not corrupted["done"] and len(ring.entries()) >= 2:
+                fs.corrupt(path, offset=fs.file_size(path) - 24)
+                corrupted["done"] = True
+            return path
+
+        ring.save = save_and_maybe_corrupt
+        report = run_resilient(solver, fs, n_steps, checkpoint_interval=4,
+                               ring=ring, injector=inj, telemetry=tel)
+
+        assert report.steps_completed == n_steps
+        assert report.recoveries >= 1
+        assert report.checkpoint_fallbacks >= 1
+        assert np.array_equal(solver.state.u, ref.state.u)  # bitwise
+        assert solver.time == ref.time
+        counters = tel.metrics.counters
+        assert counters["resilience.faults_injected"].value > 0
+        assert counters["resilience.retries"].value > 0
+        assert counters["resilience.recoveries"].value > 0
+
+    def test_solver_run_resilient_wrapper(self, air_mech, air_y):
+        ref = self._reference(air_mech, air_y, 6)
+        inj = FaultInjector(seed=SEED)
+        inj.add("solver.step", count=1, after=4)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        solver = _pulse_solver(air_mech, air_y)
+        report = solver.run_resilient(fs, 6, checkpoint_interval=2)
+        assert report.recoveries == 1
+        assert np.array_equal(solver.state.u, ref.state.u)
+
+    def test_recovery_budget_exhausts(self, air_mech, air_y):
+        inj = FaultInjector(seed=SEED)
+        inj.add("solver.step", count=None)  # every step faults, forever
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        solver = _pulse_solver(air_mech, air_y)
+        with pytest.raises(ResilienceExhaustedError, match="budget"):
+            run_resilient(solver, fs, 4, checkpoint_interval=2,
+                          max_recoveries=3, injector=inj)
+
+    def test_recovery_spans_and_history(self, air_mech, air_y):
+        tel = Telemetry()
+        inj = FaultInjector(seed=SEED, telemetry=tel)
+        inj.add("solver.step", count=1, after=3)
+        fs = SimFileSystem(lustre(), fault_injector=inj)
+        solver = _pulse_solver(air_mech, air_y)
+        report = run_resilient(solver, fs, 5, checkpoint_interval=2,
+                               injector=inj, telemetry=tel)
+        assert len(report.history) == 1
+        ev = report.history[0]
+        assert ev.at_step == 3 and ev.restored_step == 2
+        assert "FaultInjectedError" in ev.error
+        assert tel.tracer.call_counts().get("RECOVERY") == 1
+        assert tel.metrics.counter("resilience.replayed_steps").value == 1
+
+
+class TestWorkflowFaultSchedule:
+    def test_injector_drives_environment(self):
+        from repro.workflow import Environment, RemoteError, RemoteTimeoutError
+
+        tel = Telemetry()
+        inj = FaultInjector(seed=SEED, telemetry=tel)
+        inj.add("workflow.transfer", count=1)
+        inj.add("workflow.command.convert", mode="timeout", count=1)
+        env = Environment(fault_injector=inj)
+        env.add_machine("a")
+        env.add_machine("b")
+        env["a"].write("f", b"x")
+        env["a"].register("convert", lambda m, *a: None)
+        with pytest.raises(RemoteError, match="injected failure"):
+            env.transfer("a", "f", "b", "f")
+        with pytest.raises(RemoteTimeoutError, match="injected timeout"):
+            env.execute("a", "convert", "f")
+        # exhausted specs: both operations now succeed
+        env.transfer("a", "f", "b", "f")
+        env.execute("a", "convert", "f")
+        assert env.failures_injected == 2
+        assert tel.metrics.counter("resilience.faults_injected").value == 2

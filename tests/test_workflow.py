@@ -1,16 +1,22 @@
 """Tests for the Kepler-style workflow substrate (§9)."""
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.telemetry import Telemetry
 from repro.workflow import (
     Actor,
+    ActorFiringError,
     Dashboard,
     Environment,
+    ProcessFile,
     ProcessNetworkDirector,
     ProvenanceStore,
     RemoteError,
     Token,
+    Transfer,
     Workflow,
 )
 from repro.workflow.actor import FunctionActor
@@ -205,6 +211,190 @@ class TestS3DPipeline:
         env.fail_next("transfer", 3)
         run_s3d_workflow(env)
         assert env["jaguar"].files == before
+
+
+class _Boom(Actor):
+    """Pass-through actor that raises on selected values."""
+
+    inputs = ["in"]
+    outputs = ["out"]
+
+    def __init__(self, name, should_fail):
+        super().__init__(name)
+        self.should_fail = should_fail
+        self.calls = 0
+
+    def fire(self, inputs):
+        self.calls += 1
+        token = inputs["in"]
+        if self.should_fail(token.value, self.calls):
+            raise RuntimeError(f"boom on {token.value}")
+        return {"out": token.derive(token.value, self.name)}
+
+
+class _FailingSource(Actor):
+    inputs: list = []
+    outputs = ["out"]
+
+    def fire(self, inputs):
+        raise RuntimeError("source exploded")
+
+
+def _two_machine_env():
+    env = Environment()
+    env.add_machine("a")
+    env.add_machine("b")
+    env["a"].register("op", lambda m, src, dst: m.write(dst, b"processed"))
+    env["a"].write("f.dat", b"data")
+    return env
+
+
+class TestActorRetryBranches:
+    """The RemoteError except-branches of ProcessFile and Transfer."""
+
+    def test_processfile_retries_then_succeeds(self):
+        env = _two_machine_env()
+        tel = Telemetry()
+        pf = ProcessFile("conv", env, "a", "op", max_retries=3, telemetry=tel)
+        env.fail_next("op", 2)
+        out = pf.fire({"file": Token("f.dat")})
+        assert "file" in out and pf.checkpoint["conv:f.dat"] == "done"
+        retries = [e for e in pf.log if e[0] == "retry"]
+        assert len(retries) == 2
+        assert tel.metrics.counter("workflow.process.retries").value == 2
+
+    def test_processfile_exhausts_retries_emits_error_token(self):
+        env = _two_machine_env()
+        tel = Telemetry()
+        pf = ProcessFile("conv", env, "a", "op", max_retries=2, telemetry=tel)
+        env.fail_next("op", 100)
+        out = pf.fire({"file": Token("f.dat")})
+        assert set(out) == {"errors"}
+        assert "injected failure" in out["errors"].value
+        assert pf.checkpoint["conv:f.dat"] == "failed"
+        assert pf.log[-1][0] == "failed"
+        assert tel.metrics.counter("workflow.process.failures").value == 1
+        # all 1 + max_retries attempts hit the except branch
+        assert tel.metrics.counter("workflow.process.retries").value == 3
+
+    def test_transfer_retries_then_succeeds(self):
+        env = _two_machine_env()
+        tel = Telemetry()
+        mv = Transfer("move", env, "a", "b", max_retries=3, telemetry=tel)
+        env.fail_next("transfer", 2)
+        out = mv.fire({"file": Token("f.dat")})
+        assert out["file"].value == "f.dat"
+        assert env["b"].read("f.dat") == b"data"
+        assert mv.checkpoint["move:f.dat"] == "done"
+        assert tel.metrics.counter("workflow.transfer.retries").value == 2
+
+    def test_transfer_exhausts_retries_returns_none(self):
+        env = _two_machine_env()
+        tel = Telemetry()
+        mv = Transfer("move", env, "a", "b", max_retries=1, telemetry=tel)
+        env.fail_next("transfer", 100)
+        out = mv.fire({"file": Token("f.dat")})
+        assert out is None
+        assert not env["b"].exists("f.dat")
+        assert mv.checkpoint["move:f.dat"] == "failed"
+        assert mv.log[-1] == ("failed", "f.dat")
+        assert tel.metrics.counter("workflow.transfer.retries").value == 2
+
+
+class TestDirectorFaultHandling:
+    def _pipeline(self, boom, n=3, **director_kwargs):
+        wf = Workflow()
+        wf.add(_Counter("src", n))
+        wf.add(boom)
+        wf.add(Collector("sink"))
+        wf.connect("src", "out", boom.name, "in")
+        wf.connect(boom.name, "out", "sink", "in")
+        return wf, ProcessNetworkDirector(wf, **director_kwargs)
+
+    def test_raise_mode_names_actor_and_round(self):
+        boom = _Boom("boom", lambda v, calls: True)
+        wf, d = self._pipeline(boom)
+        with pytest.raises(ActorFiringError,
+                           match="'boom' failed in round 0") as exc_info:
+            d.run()
+        err = exc_info.value
+        assert err.actor_name == "boom"
+        assert err.round_no == 0
+        assert isinstance(err.original, RuntimeError)
+
+    def test_raise_mode_names_failing_source(self):
+        wf = Workflow()
+        wf.add(_FailingSource("watcher"))
+        wf.add(Collector("sink"))
+        wf.connect("watcher", "out", "sink", "in")
+        d = ProcessNetworkDirector(wf)
+        with pytest.raises(ActorFiringError, match="watcher"):
+            d.run()
+        assert d.failures and d.failures[0][1] == "watcher"
+
+    def test_degrade_mode_keeps_pipeline_running(self):
+        tel = Telemetry()
+        boom = _Boom("boom", lambda v, calls: v == 2)
+        wf, d = self._pipeline(boom, on_error="degrade", telemetry=tel)
+        d.run()
+        assert [t.value for t in wf.actors["sink"].items] == [1, 3]
+        assert [(f[1], f[0]) for f in d.failures] == [("boom", 1)]
+        assert tel.metrics.counter("workflow.actor_errors").value == 1
+
+    def test_director_retry_refires_with_same_inputs(self):
+        tel = Telemetry()
+        boom = _Boom("boom", lambda v, calls: calls == 1)  # first attempt only
+        wf, d = self._pipeline(boom, n=2, actor_retries=1, telemetry=tel)
+        d.run()
+        assert [t.value for t in wf.actors["sink"].items] == [1, 2]
+        assert d.failures == []
+        assert tel.metrics.counter("workflow.actor_retries").value == 1
+        assert tel.metrics.counter("workflow.actor_errors").value == 0
+
+    def test_circuit_breaker_opens_and_half_opens(self):
+        tel = Telemetry()
+        boom = _Boom("boom", lambda v, calls: True)
+        wf, d = self._pipeline(boom, n=6, on_error="degrade",
+                               max_actor_failures=2, breaker_cooldown=2,
+                               telemetry=tel)
+        d.step_round()  # strike 1
+        assert not d.circuit_open("boom")
+        d.step_round()  # strike 2 -> breaker opens
+        assert d.circuit_open("boom")
+        assert boom.calls == 2
+        assert tel.metrics.counter("workflow.breaker_opened").value == 1
+        d.step_round()  # cooldown: skipped, tokens queue
+        d.step_round()
+        assert boom.calls == 2
+        d.step_round()  # half-open trial firing fails -> re-trips
+        assert boom.calls == 3
+        assert d.circuit_open("boom")
+        assert tel.metrics.counter("workflow.breaker_opened").value == 2
+
+    def test_actor_timeout_recorded_post_hoc(self):
+        tel = Telemetry()
+
+        class _Slow(Actor):
+            inputs = ["in"]
+            outputs = ["out"]
+
+            def fire(self, inputs):
+                time.sleep(0.05)
+                return {"out": inputs["in"]}
+
+        wf = Workflow()
+        wf.add(_Counter("src", 1))
+        wf.add(_Slow("slow"))
+        wf.add(Collector("sink"))
+        wf.connect("src", "out", "slow", "in")
+        wf.connect("slow", "out", "sink", "in")
+        d = ProcessNetworkDirector(wf, on_error="degrade", actor_timeout=0.01,
+                                   telemetry=tel)
+        d.run()
+        # the firing overran but its outputs were still delivered
+        assert len(wf.actors["sink"].items) == 1
+        assert any(f[1] == "slow" and "TimeoutError" in f[2] for f in d.failures)
+        assert tel.metrics.counter("workflow.actor_errors").value == 1
 
 
 class TestProvenance:
