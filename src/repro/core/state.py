@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.constants import RU
+
 
 class State:
     """Conserved-variable state on a grid.
@@ -46,6 +48,20 @@ class State:
                 raise ValueError(f"state array must have shape {shape}, got {u.shape}")
             self.u = u
         self._t_cache = None
+        #: monotonically increasing buffer-version token; incremented by
+        #: :meth:`mark_modified` whenever ``self.u`` is mutated in place
+        #: outside an integrator stage, so per-evaluation property caches
+        #: (see :class:`~repro.core.rhs.CompressibleRHS`) can invalidate
+        self.version = 0
+
+    def mark_modified(self) -> None:
+        """Declare that ``self.u`` was mutated in place.
+
+        Any code that writes into the conserved array directly (filters,
+        restart loads, manual edits) must call this so memoized
+        thermo/transport properties keyed on the buffer are invalidated.
+        """
+        self.version += 1
 
     # ------------------------------------------------------------------
     # index helpers
@@ -142,6 +158,64 @@ class State:
         self._t_cache = T
         p = self.mech.pressure(rho, T, Y)
         return rho, vel, T, p, Y, e0
+
+    def primitives_ws(self, u, workspace):
+        """Workspace-backed :meth:`primitives`, plus the mean weight.
+
+        Decodes into pooled scratch arrays (zero large allocations once
+        the arena is warm, apart from the Newton temperature solve) and
+        returns ``(rho, vel, T, p, Y, e0, wbar)`` — ``wbar`` comes free
+        from the pressure evaluation and the batched RHS needs it for
+        the diffusion-driving d(ln wbar)/dx sweeps. Bitwise identical to
+        :meth:`primitives`.
+        """
+        ws = workspace
+        u = self.u if u is None else u
+        rho = u[self.i_rho]
+        S = rho.shape
+        ndim = self.ndim
+        ns = self.mech.n_species
+        vel_buf = ws.array("state.vel", (ndim,) + S)
+        np.divide(u[1 : 1 + ndim], rho[None], out=vel_buf)
+        vel = [vel_buf[ax] for ax in range(ndim)]
+        # mass fractions (last species from the sum(Y) = 1 constraint)
+        Y = ws.array("state.Y", (ns,) + S)
+        transported = Y[: ns - 1]
+        np.divide(u[self.species_slice], rho[None], out=transported)
+        np.clip(transported, 0.0, 1.0, out=transported)
+        last = Y[ns - 1 : ns]
+        np.sum(transported, axis=0, out=last[0])
+        np.subtract(1.0, last, out=last)
+        np.clip(last, 0.0, 1.0, out=last)
+        e0 = ws.array("state.e0", S)
+        np.divide(u[self.i_energy], rho, out=e0)
+        # kinetic energy: sum(v*v) * 0.5, then e_int = e0 - ke
+        ke = ws.array("state.ke", S)
+        tmp = ws.array("state.tmp", S)
+        np.multiply(vel[0], vel[0], out=ke)
+        for ax in range(1, ndim):
+            np.multiply(vel[ax], vel[ax], out=tmp)
+            ke += tmp
+        ke *= 0.5
+        e_int = ws.array("state.e_int", S)
+        np.subtract(e0, ke, out=e_int)
+        guess = self._t_cache if (
+            self._t_cache is not None and self._t_cache.shape == S
+        ) else None
+        T = self.mech.temperature_from_energy(e_int, Y, T_guess=guess)
+        self._t_cache = T
+        # p = rho Ru T / wbar with wbar = 1 / sum(Y_i / W_i)
+        w = self.mech.weights.reshape((-1,) + (1,) * len(S))
+        ybuf = ws.array("state.y_over_w", (ns,) + S)
+        np.divide(Y, w, out=ybuf)
+        wbar = ws.array("state.wbar", S)
+        np.sum(ybuf, axis=0, out=wbar)
+        np.divide(1.0, wbar, out=wbar)
+        p = ws.array("state.p", S)
+        np.multiply(rho, RU, out=p)
+        p *= T
+        p /= wbar
+        return rho, vel, T, p, Y, e0, wbar
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -165,6 +165,7 @@ def load_solver_state(fs, solver, path: str) -> None:
     solver.time = float(np.frombuffer(blob[:8], dtype=np.float64)[0])
     flat = np.frombuffer(blob[8:8 + nbytes], dtype=np.float64)
     solver.state.u[...] = flat.reshape(u.shape)
+    solver.state.mark_modified()
     if has_cache:
         # restore the Newton temperature cache: the next temperature
         # solve must start from the same guess the saved run would have

@@ -102,11 +102,17 @@ class ParallelPeriodicSolver:
         Decomposition and simulated-MPI world.
     transport, reacting, scheme, filter_alpha:
         Passed through to per-rank RHS/filter construction.
+    rhs_engine:
+        RHS engine name forwarded to every per-rank
+        :class:`~repro.core.rhs.CompressibleRHS` (None defers to the
+        ``REPRO_RHS_ENGINE`` environment switch). Both engines are
+        bitwise identical, so the serial-equivalence guarantee holds for
+        either.
     """
 
     def __init__(self, mechanism, grid, decomp, world, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
-                 filter_interval=1, telemetry=None):
+                 filter_interval=1, telemetry=None, rhs_engine=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -135,7 +141,8 @@ class ParallelPeriodicSolver:
             self._rank_state.append(st)
             self._rank_rhs.append(
                 CompressibleRHS(st, transport=transport, boundaries={},
-                                reacting=reacting, telemetry=self.telemetry)
+                                reacting=reacting, telemetry=self.telemetry,
+                                engine=rhs_engine)
             )
             self._filters.append(
                 [
@@ -188,8 +195,7 @@ class ParallelPeriodicSolver:
         for rank in range(self.decomp.size):
             ext = extended[rank]
             for axis, filt in enumerate(self._filters[rank]):
-                for var in range(ext.shape[0]):
-                    ext[var] = filt.apply(ext[var], axis=axis)
+                filt.apply(ext, axis=1 + axis, out=ext)
             self.locals[rank] = np.ascontiguousarray(
                 ext[self.halo.interior_slices(rank, leading_axes=1)]
             )

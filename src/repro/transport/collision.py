@@ -34,3 +34,41 @@ def omega11(t_star):
         + 1.03587 * np.exp(-1.52996 * t)
         + 1.76474 * np.exp(-3.89411 * t)
     )
+
+
+def _fit_inplace(t, coeffs, out, scratch):
+    """Evaluate ``sum_k c_k * exp(b_k t)`` style fits without temporaries.
+
+    ``coeffs`` is ``[(c0, p0)] + [(c_k, b_k), ...]`` — a leading power
+    term ``c0 * t**p0`` plus exponential terms ``c_k * exp(b_k * t)``.
+    Term order and per-element operation order match the allocating
+    formulations above bitwise.
+    """
+    (c0, p0) = coeffs[0]
+    np.power(t, p0, out=out)
+    out *= c0
+    for c, b in coeffs[1:]:
+        np.multiply(t, b, out=scratch)
+        np.exp(scratch, out=scratch)
+        scratch *= c
+        out += scratch
+    return out
+
+
+def omega22_inplace(t_star, out, scratch):
+    """:func:`omega22` into preallocated storage (bitwise identical)."""
+    return _fit_inplace(
+        t_star,
+        [(1.16145, -0.14874), (0.52487, -0.77320), (2.16178, -2.43787)],
+        out, scratch,
+    )
+
+
+def omega11_inplace(t_star, out, scratch):
+    """:func:`omega11` into preallocated storage (bitwise identical)."""
+    return _fit_inplace(
+        t_star,
+        [(1.06036, -0.15610), (0.19300, -0.47635),
+         (1.03587, -1.52996), (1.76474, -3.89411)],
+        out, scratch,
+    )

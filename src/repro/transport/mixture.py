@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.transport.collision import omega11, omega22
+from repro.transport.collision import (
+    omega11, omega11_inplace, omega22, omega22_inplace,
+)
 from repro.util.constants import AVOGADRO, BOLTZMANN, RU
 
 _ANGSTROM = 1e-10
@@ -86,6 +88,15 @@ class MixtureAveragedTransport:
         wr = w[:, None] / w[None, :]  # W_i / W_j
         self._phi_denom = np.sqrt(8.0 * (1.0 + wr))
         self._w_quarter = (1.0 / wr) ** 0.25  # (W_j/W_i)^(1/4)
+        # Upper-triangle pair constants for the symmetric binary-diffusion
+        # matrix (eps_ij and the D_ij prefactor are exactly symmetric, so
+        # the workspace fast path computes ns(ns+1)/2 pairs and mirrors)
+        ns = len(w)
+        self._tri = np.triu_indices(ns)
+        self._eps_tri = np.ascontiguousarray(self.eps_ij[self._tri])
+        self._d_pref_tri = np.ascontiguousarray(self._d_pref[self._tri])
+        # Eucken correction constant 1.25 Ru / W_i
+        self._euken = 1.25 * RU / w
 
     # ------------------------------------------------------------------
     def species_viscosities(self, T):
@@ -170,11 +181,129 @@ class MixtureAveragedTransport:
         return theta
 
     # ------------------------------------------------------------------
-    def evaluate(self, T, p, Y) -> TransportProperties:
-        """Evaluate all mixture transport properties at (T, p, Y)."""
+    def evaluate(self, T, p, Y, workspace=None) -> TransportProperties:
+        """Evaluate all mixture transport properties at (T, p, Y).
+
+        With a :class:`~repro.core.workspace.Workspace` the evaluation
+        runs on pooled scratch storage: the symmetric binary-diffusion
+        matrix is computed on its upper triangle only and mirrored, the
+        collision integrals are evaluated in place, and the returned
+        property arrays are workspace-owned (valid until the next
+        ``evaluate`` call with the same workspace). Results are bitwise
+        identical to the allocating path.
+        """
+        if workspace is not None:
+            return self._evaluate_ws(T, p, Y, workspace)
         X = self.mech.mass_to_mole(Y)
         mu = self.mixture_viscosity(T, X)
         lam = self.mixture_conductivity(T, X)
         dmix = self.mixture_diffusivities(T, p, X, Y=Y)
         theta = self.thermal_diffusion_ratios(T, X) if self.soret else None
         return TransportProperties(mu, lam, dmix, theta)
+
+    def _evaluate_ws(self, T, p, Y, ws) -> TransportProperties:
+        """Workspace-backed fast path of :meth:`evaluate`."""
+        T = np.asarray(T, dtype=float)
+        Y = np.asarray(Y, dtype=float)
+        S = T.shape
+        ns = self.mech.n_species
+        extra = (1,) * T.ndim
+        w = self.weights.reshape((-1,) + extra)
+
+        # mole fractions: X = Y wbar / W_i with wbar = 1 / sum(Y_i/W_i)
+        X = ws.array("tr.X", (ns,) + S)
+        wbar = ws.array("tr.wbar", S)
+        np.divide(Y, w, out=X)
+        np.sum(X, axis=0, out=wbar)
+        np.divide(1.0, wbar, out=wbar)
+        np.multiply(Y, wbar[None], out=X)
+        X /= w
+
+        tmp_ns = ws.array("tr.tmp_ns", (ns,) + S)
+
+        # pure-species viscosities: mu_i = c_i sqrt(T) / Omega22(T*)
+        t_star = ws.array("tr.t_star", (ns,) + S)
+        om = ws.array("tr.om", (ns,) + S)
+        np.divide(T[None], self.eps_over_k.reshape((-1,) + extra), out=t_star)
+        omega22_inplace(t_star, om, tmp_ns)
+        sqrt_t = ws.array("tr.sqrt_t", S)
+        np.sqrt(T, out=sqrt_t)
+        mu_s = ws.array("tr.mu_s", (ns,) + S)
+        np.multiply(self._mu_pref.reshape((-1,) + extra), sqrt_t[None], out=mu_s)
+        mu_s /= om
+
+        # Wilke mixture viscosity
+        pair = ws.array("tr.pair", (ns, ns) + S)
+        np.divide(mu_s[:, None], mu_s[None, :], out=pair)
+        np.sqrt(pair, out=pair)
+        pair *= self._w_quarter.reshape(self._w_quarter.shape + extra)
+        pair += 1.0
+        np.power(pair, 2, out=pair)
+        pair /= self._phi_denom.reshape(self._phi_denom.shape + extra)
+        denom = ws.array("tr.denom", (ns,) + S)
+        np.einsum("j...,ij...->i...", X, pair, out=denom)
+        np.multiply(X, mu_s, out=tmp_ns)
+        tmp_ns /= denom
+        visc = ws.array("tr.visc", S)
+        np.sum(tmp_ns, axis=0, out=visc)
+
+        # Mathur-Tondon-Saxena conductivity (reuses the pure-species
+        # viscosities — the allocating path recomputes the identical
+        # values inside species_conductivities)
+        lam_s = ws.array("tr.lam_s", (ns,) + S)
+        cp = self.mech.thermo.cp_molar(T)
+        np.divide(cp, w, out=lam_s)
+        lam_s += self._euken.reshape((-1,) + extra)
+        lam_s *= mu_s
+        s1 = ws.array("tr.s1", S)
+        s2 = ws.array("tr.s2", S)
+        np.multiply(X, lam_s, out=tmp_ns)
+        np.sum(tmp_ns, axis=0, out=s1)
+        np.divide(X, lam_s, out=tmp_ns)
+        np.sum(tmp_ns, axis=0, out=s2)
+        cond = ws.array("tr.cond", S)
+        np.divide(1.0, s2, out=s2)
+        np.add(s1, s2, out=cond)
+        cond *= 0.5
+
+        # binary diffusion on the upper triangle, mirrored into (ns, ns)
+        ntri = self._eps_tri.shape[0]
+        ts_tri = ws.array("tr.ts_tri", (ntri,) + S)
+        om_tri = ws.array("tr.om_tri", (ntri,) + S)
+        scr_tri = ws.array("tr.scr_tri", (ntri,) + S)
+        np.divide(T[None], self._eps_tri.reshape((-1,) + extra), out=ts_tri)
+        omega11_inplace(ts_tri, om_tri, scr_tri)
+        t15 = ws.array("tr.t15", S)
+        np.power(T, 1.5, out=t15)
+        # denominator p * Omega11, then D = pref T^1.5 / (p Omega11)
+        np.multiply(om_tri, np.broadcast_to(p, S)[None], out=scr_tri)
+        d_tri = ts_tri  # T* no longer needed; reuse as the D_ij triangle
+        np.multiply(self._d_pref_tri.reshape((-1,) + extra), t15[None], out=d_tri)
+        d_tri /= scr_tri
+        dd = ws.array("tr.dd", (ns, ns) + S)
+        iu, ju = self._tri
+        dd[iu, ju] = d_tri
+        dd[ju, iu] = d_tri
+
+        # mixture-averaged diffusivities (eq. 17, mass-fraction form)
+        inv = ws.array("tr.inv", (ns,) + S)
+        np.divide(X[None, :], dd, out=pair)
+        np.sum(pair, axis=1, out=inv)
+        for i in range(ns):
+            np.divide(X[i : i + 1], dd[i : i + 1, i], out=tmp_ns[i : i + 1])
+        inv -= tmp_ns
+        eps = 1e-30
+        diff = ws.array("tr.diff", (ns,) + S)
+        np.subtract(1.0, Y, out=diff)
+        np.maximum(inv, eps, out=inv)
+        diff /= inv
+        diff += eps
+
+        theta = None
+        if self.soret:
+            theta = ws.zeros("tr.theta", (ns,) + S)
+            for name, kappa in (("H2", -0.29), ("H", -0.35)):
+                if name in self.mech.species_names:
+                    i = self.mech.index(name)
+                    np.multiply(X[i : i + 1], kappa, out=theta[i : i + 1])
+        return TransportProperties(visc, cond, diff, theta)

@@ -27,7 +27,9 @@ class PowerLawTransport:
         self.exponent = float(exponent)
         self.prandtl = float(prandtl)
 
-    def evaluate(self, T, p, Y) -> TransportProperties:
+    def evaluate(self, T, p, Y, workspace=None) -> TransportProperties:
+        # ``workspace`` is accepted for interface parity with the
+        # mixture-averaged model; this cheap model always allocates
         T = np.asarray(T, dtype=float)
         mu = self.mu_ref * (T / self.t_ref) ** self.exponent
         cp = self.mech.cp_mass(T, Y)
@@ -69,7 +71,9 @@ class ConstantLewisTransport:
                 if self.lewis.shape != (ns,):
                     raise ValueError(f"lewis must have shape ({ns},)")
 
-    def evaluate(self, T, p, Y) -> TransportProperties:
+    def evaluate(self, T, p, Y, workspace=None) -> TransportProperties:
+        # ``workspace`` is accepted for interface parity with the
+        # mixture-averaged model; this cheap model always allocates
         T = np.asarray(T, dtype=float)
         mu = self.mu_ref * (T / self.t_ref) ** self.exponent
         cp = self.mech.cp_mass(T, Y)

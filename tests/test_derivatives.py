@@ -143,3 +143,70 @@ class TestGradientOperators:
         f = yy**2
         d = ops[1].apply(f, axis=1)
         np.testing.assert_allclose(d, 2 * yy, rtol=1e-2, atol=1e-3)
+
+
+class TestBatchedSweeps:
+    """The fast apply/apply_stack paths against the preserved naive sweep."""
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_apply_matches_naive_bitwise(self, periodic):
+        rng = np.random.default_rng(0)
+        op = DerivativeOperator(48, 0.02, periodic=periodic)
+        f = rng.random((48, 6))
+        assert np.array_equal(op.apply(f), op.apply_naive(f))
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_apply_matches_naive_strided_axis(self, periodic):
+        # axis != 0 exercises the contiguity-staging path in _dispatch
+        rng = np.random.default_rng(1)
+        op = DerivativeOperator(32, 0.02, periodic=periodic)
+        f = rng.random((12, 32, 5))
+        assert np.array_equal(op.apply(f, axis=1), op.apply_naive(f, axis=1))
+
+    def test_apply_matches_naive_stretched_metric(self):
+        grid = Grid((16, 48), (1.0, 2.0), periodic=(False, False),
+                    stretch=(1.0, 3.0))
+        op = gradient_operators(grid)[1]
+        f = np.random.default_rng(2).random((16, 48))
+        assert np.array_equal(op.apply(f, axis=1), op.apply_naive(f, axis=1))
+
+    def test_apply_stack_matches_per_field(self):
+        rng = np.random.default_rng(3)
+        op = DerivativeOperator(24, 0.01, periodic=True)
+        stack = rng.random((7, 16, 24))
+        out = np.empty_like(stack)
+        res = op.apply_stack(stack, axis=1, out=out)
+        assert res is out
+        for k in range(stack.shape[0]):
+            assert np.array_equal(out[k], op.apply(stack[k], axis=1))
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_out_aliasing_input_is_safe(self, periodic):
+        rng = np.random.default_rng(4)
+        op = DerivativeOperator(40, 0.01, periodic=periodic)
+        f = rng.random(40)
+        expected = op.apply(f)
+        res = op.apply(f, out=f)
+        assert res is f
+        assert np.array_equal(f, expected)
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_every_row_written(self, periodic):
+        # the non-periodic interior writes into non-zeroed output; a
+        # NaN-poisoned out= buffer proves every row is overwritten
+        rng = np.random.default_rng(5)
+        op = DerivativeOperator(32, 0.01, periodic=periodic)
+        f = rng.random((32, 4))
+        out = np.full_like(f, np.nan)
+        op.apply(f, out=out)
+        assert np.isfinite(out).all()
+        assert np.array_equal(out, op.apply_naive(f))
+
+    def test_warm_apply_reuses_scratch(self):
+        op = DerivativeOperator(64, 0.01, periodic=True)
+        f = np.random.default_rng(6).random((64, 8))
+        out = np.empty_like(f)
+        op.apply(f, out=out)
+        n = len(op._scratch)
+        op.apply(f, out=out)
+        assert len(op._scratch) == n

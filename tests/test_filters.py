@@ -105,3 +105,45 @@ class TestFilterOperators:
         assert len(ops) == 2
         assert ops[0].periodic and not ops[1].periodic
         assert ops[0].alpha == 0.3
+
+
+class TestFilterOutPath:
+    """The ghost-padded out= sweep replacing the np.roll implementation."""
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_out_parameter_matches_plain(self, periodic):
+        rng = np.random.default_rng(7)
+        filt = FilterOperator(48, periodic=periodic, alpha=0.6)
+        f = rng.random((48, 5))
+        expected = filt.apply(f)
+        out = np.full_like(f, np.nan)
+        res = filt.apply(f, out=out)
+        assert res is out
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_out_aliasing_input_is_safe(self, periodic):
+        rng = np.random.default_rng(8)
+        filt = FilterOperator(40, periodic=periodic, alpha=1.0)
+        f = rng.random(40)
+        expected = filt(f)
+        res = filt.apply(f, out=f)
+        assert res is f
+        assert np.array_equal(f, expected)
+
+    def test_strided_axis_matches_axis0(self):
+        rng = np.random.default_rng(9)
+        filt = FilterOperator(32, periodic=True, alpha=0.8)
+        f = rng.random((12, 32))
+        g = filt.apply(f, axis=1)
+        for i in range(f.shape[0]):
+            assert np.array_equal(g[i], filt.apply(f[i]))
+
+    def test_warm_apply_reuses_scratch(self):
+        filt = FilterOperator(64, periodic=False, alpha=1.0)
+        f = np.random.default_rng(10).random((64, 4))
+        out = np.empty_like(f)
+        filt.apply(f, out=out)
+        n = len(filt._scratch)
+        filt.apply(f, out=out)
+        assert len(filt._scratch) == n

@@ -1,0 +1,300 @@
+"""Batched-sweep RHS engine: bit-exactness vs the naive reference,
+workspace allocation behavior, property memoization, and engine
+selection plumbing."""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.chemistry import ch4_twostep, h2_li2004
+from repro.chemistry.mechanisms import air
+from repro.core.config import BoundarySpec, SolverConfig
+from repro.core.grid import Grid
+from repro.core.rhs import ENGINES, CompressibleRHS
+from repro.core.state import State
+from repro.core.workspace import Workspace
+from repro.telemetry import Telemetry
+from repro.transport import (
+    ConstantLewisTransport,
+    MixtureAveragedTransport,
+    PowerLawTransport,
+)
+from repro.util.constants import P_ATM
+
+
+def _make_state(mech, grid, seed=3):
+    rng = np.random.default_rng(seed)
+    S = grid.shape
+    T = 1100.0 + 300.0 * rng.random(S)
+    rho = 0.4 + 0.2 * rng.random(S)
+    vel = [30.0 * (rng.random(S) - 0.5) for _ in range(grid.ndim)]
+    Y = rng.random((mech.n_species,) + S) + 0.05
+    Y /= Y.sum(axis=0)
+    return State.from_primitive(mech, grid, rho, vel, T, Y)
+
+
+def _engine_pair(mech, grid, transport, reacting, boundaries=None):
+    st_n = _make_state(mech, grid)
+    st_b = State(mech, grid, st_n.u.copy())
+    # same Newton warm start, else the two temperature solves converge
+    # to last-bit-different roots before the engines even run
+    if st_n._t_cache is not None:
+        st_b._t_cache = st_n._t_cache.copy()
+    rhs_n = CompressibleRHS(st_n, transport=transport, boundaries=boundaries,
+                            reacting=reacting, engine="naive")
+    rhs_b = CompressibleRHS(st_b, transport=transport, boundaries=boundaries,
+                            reacting=reacting, engine="batched")
+    return rhs_n, rhs_b, st_n, st_b
+
+
+def _periodic(*shape_dx):
+    shape, dx = zip(*shape_dx)
+    return Grid(shape, dx, periodic=(True,) * len(shape))
+
+
+G1 = _periodic((64, 0.01))
+G2 = _periodic((16, 0.01), (12, 0.008))
+G3 = _periodic((12, 0.01), (10, 0.01), (9, 0.01))
+
+
+class TestEngineBitExactness:
+    """The batched engine must reproduce the naive engine bit for bit."""
+
+    @pytest.mark.parametrize("grid", [G1, G2, G3], ids=["1d", "2d", "3d"])
+    def test_h2_mixture_reacting(self, grid):
+        mech = h2_li2004()
+        self._check(mech, grid, MixtureAveragedTransport(mech), True)
+
+    @pytest.mark.parametrize("grid", [G1, G2, G3], ids=["1d", "2d", "3d"])
+    def test_h2_euler(self, grid):
+        self._check(h2_li2004(), grid, None, False)
+
+    def test_h2_soret(self):
+        mech = h2_li2004()
+        self._check(mech, G2, MixtureAveragedTransport(mech, soret=True), True)
+
+    def test_ch4_constant_lewis(self):
+        mech = ch4_twostep()
+        self._check(mech, G2, ConstantLewisTransport(mech, lewis={"CH4": 0.97}),
+                    True)
+
+    def test_ch4_mixture_3d(self):
+        mech = ch4_twostep()
+        self._check(mech, G3, MixtureAveragedTransport(mech), True)
+
+    def test_air_power_law(self):
+        self._check(air(), G2, PowerLawTransport(air()), False)
+
+    def test_nscbc_1d(self):
+        mech = h2_li2004()
+        grid = Grid((48,), (0.01,), periodic=(False,))
+        bcs = {(0, 0): BoundarySpec("nonreflecting_outflow", p_inf=P_ATM),
+               (0, 1): BoundarySpec("nonreflecting_outflow", p_inf=P_ATM)}
+        self._check(mech, grid, MixtureAveragedTransport(mech), True,
+                    boundaries=bcs)
+
+    def test_nscbc_2d_mixed_periodicity(self):
+        mech = h2_li2004()
+        grid = Grid((24, 10), (0.01, 0.008), periodic=(False, True))
+        bcs = {(0, 0): BoundarySpec("nonreflecting_outflow", p_inf=P_ATM),
+               (0, 1): BoundarySpec("nonreflecting_outflow", p_inf=P_ATM),
+               (1, 0): BoundarySpec("periodic"),
+               (1, 1): BoundarySpec("periodic")}
+        self._check(mech, grid, MixtureAveragedTransport(mech), True,
+                    boundaries=bcs)
+
+    def _check(self, mech, grid, transport, reacting, boundaries=None):
+        rhs_n, rhs_b, st_n, st_b = _engine_pair(
+            mech, grid, transport, reacting, boundaries=boundaries
+        )
+        du_n = rhs_n(0.0, st_n.u)
+        du_b = rhs_b(0.0, st_b.u)
+        assert np.array_equal(du_n, du_b)
+        assert np.array_equal(rhs_n.last_heat_release, rhs_b.last_heat_release)
+        # the out= path and a warm (arena reuse) re-evaluation stay exact
+        out = np.empty_like(du_b)
+        res = rhs_b(0.0, st_b.u, out=out)
+        assert res is out
+        assert np.array_equal(out, du_n)
+
+    def test_stable_dt_agrees(self):
+        mech = h2_li2004()
+        rhs_n, rhs_b, _, _ = _engine_pair(
+            mech, G2, MixtureAveragedTransport(mech), True
+        )
+        dt_n = rhs_n.stable_dt()
+        dt_b = rhs_b.stable_dt()
+        # the naive path re-runs the Newton solve from a converged guess,
+        # the batched path memoizes — agreement is to roundoff, not bits
+        assert dt_b == pytest.approx(dt_n, rel=1e-10)
+
+
+class TestWorkspaceBehavior:
+    def test_zero_allocation_when_warm(self):
+        """After warmup, an RHS evaluation allocates nothing large."""
+        mech = h2_li2004()
+        tel = Telemetry()
+        st = _make_state(mech, G2)
+        rhs = CompressibleRHS(st, transport=MixtureAveragedTransport(mech),
+                              reacting=True, engine="batched", telemetry=tel)
+        rhs(0.0, st.u)
+        gauge = tel.gauge("rhs.bytes_allocated")
+        assert gauge.value > 0  # cold evaluation built the arena
+        st.u[st.i_rho] *= 1.0 + 1e-9
+        st.mark_modified()
+        rhs(0.0, st.u)
+        assert gauge.value == 0.0  # warm evaluation: arena fully reused
+
+    @pytest.mark.parametrize(
+        "reacting,max_ratio",
+        # viscous transport + fluxes are fully arena-backed; the reacting
+        # path still allocates inside the kinetics evaluator (known
+        # remaining work), so it only has to be well below naive
+        [(False, 0.05), (True, 0.35)],
+        ids=["viscous", "reacting"],
+    )
+    def test_warm_eval_tracemalloc_far_below_naive(self, reacting, max_ratio):
+        mech = h2_li2004()
+        tr = MixtureAveragedTransport(mech)
+        # large enough that field-sized temporaries dominate the peak
+        # (on tiny grids fixed-size bookkeeping drowns out the signal)
+        grid = _periodic((48, 0.01), (40, 0.008))
+        st_n = _make_state(mech, grid)
+        st_b = State(mech, grid=grid, u=st_n.u.copy())
+        rhs_n = CompressibleRHS(st_n, transport=tr, reacting=reacting,
+                                engine="naive")
+        rhs_b = CompressibleRHS(st_b, transport=tr, reacting=reacting,
+                                engine="batched")
+        out = np.empty_like(st_b.u)
+        rhs_n(0.0, st_n.u)
+        rhs_b(0.0, st_b.u, out=out)
+
+        def peak(fn):
+            tracemalloc.start()
+            fn()
+            _, p = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return p
+
+        peak_b = peak(lambda: rhs_b(0.0, st_b.u, out=out))
+        peak_n = peak(lambda: rhs_n(0.0, st_n.u))
+        # the warm batched engine allocates no field-sized temporaries:
+        # its transient peak must be a small fraction of the naive one
+        assert peak_b < max_ratio * peak_n
+
+    def test_workspace_reuses_and_rekeys(self):
+        ws = Workspace()
+        a = ws.array("x", (4, 5))
+        assert ws.array("x", (4, 5)) is a
+        b = ws.array("x", (6,))  # same name, new shape -> new buffer
+        assert b.shape == (6,)
+        assert ws.zeros("z", (3,)).sum() == 0.0
+        assert len(ws) == 2
+        assert ws.nbytes == b.nbytes + 24
+        ws.clear()
+        assert len(ws) == 0
+
+
+class TestPropsMemo:
+    def test_cache_hit_between_call_and_stable_dt(self):
+        mech = h2_li2004()
+        tel = Telemetry()
+        st = _make_state(mech, G2)
+        rhs = CompressibleRHS(st, transport=MixtureAveragedTransport(mech),
+                              reacting=True, engine="batched", telemetry=tel)
+        hits = tel.counter("rhs.props_cache_hits")
+        rhs(0.0, st.u)
+        assert hits.value == 0
+        rhs.stable_dt()  # same state buffer, same version -> memo hit
+        assert hits.value == 1
+
+    def test_cache_invalidated_by_content_change(self):
+        mech = h2_li2004()
+        tel = Telemetry()
+        st = _make_state(mech, G2)
+        rhs = CompressibleRHS(st, transport=MixtureAveragedTransport(mech),
+                              reacting=True, engine="batched", telemetry=tel)
+        hits = tel.counter("rhs.props_cache_hits")
+        du0 = rhs(0.0, st.u).copy()
+        # in-place mutation without mark_modified: the content fingerprint
+        # must still force a recompute (low-storage RK mutates in place)
+        st.u[st.i_energy] *= 1.0 + 1e-6
+        du1 = rhs(0.0, st.u)
+        assert hits.value == 0
+        assert not np.array_equal(du0, du1)
+
+
+class TestEngineSelection:
+    def test_default_is_batched(self):
+        mech = h2_li2004()
+        st = _make_state(mech, G1)
+        rhs = CompressibleRHS(st, reacting=False)
+        assert rhs.engine == "batched"
+        assert rhs.supports_out
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RHS_ENGINE", "naive")
+        mech = h2_li2004()
+        st = _make_state(mech, G1)
+        rhs = CompressibleRHS(st, reacting=False)
+        assert rhs.engine == "naive"
+        assert not rhs.supports_out
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RHS_ENGINE", "naive")
+        mech = h2_li2004()
+        st = _make_state(mech, G1)
+        rhs = CompressibleRHS(st, reacting=False, engine="batched")
+        assert rhs.engine == "batched"
+
+    def test_unknown_engine_rejected(self):
+        mech = h2_li2004()
+        st = _make_state(mech, G1)
+        with pytest.raises(ValueError, match="engine"):
+            CompressibleRHS(st, reacting=False, engine="vectorized")
+
+    def test_config_engine_validation(self):
+        grid = Grid((16,), (0.01,), periodic=(True,))
+        bcs = {(0, 0): BoundarySpec("periodic"), (0, 1): BoundarySpec("periodic")}
+        with pytest.raises(ValueError, match="rhs_engine"):
+            SolverConfig(boundaries=bcs, rhs_engine="bogus").validate(grid)
+        for eng in ENGINES:
+            SolverConfig(boundaries=bcs, rhs_engine=eng).validate(grid)
+
+    def test_out_aliasing_state_rejected(self):
+        mech = h2_li2004()
+        st = _make_state(mech, G1)
+        rhs = CompressibleRHS(st, reacting=False, engine="batched")
+        with pytest.raises(ValueError, match="alias"):
+            rhs(0.0, st.u, out=st.u)
+
+
+class TestPrimitivesWorkspace:
+    def test_bitwise_vs_plain(self):
+        mech = h2_li2004()
+        st = _make_state(mech, G2)
+        st2 = State(mech, grid=G2, u=st.u.copy())
+        if st._t_cache is not None:  # same Newton warm start for both
+            st2._t_cache = st._t_cache.copy()
+        rho, vel, T, p, Y, e0 = st.primitives(st.u)
+        ws = Workspace()
+        rho2, vel2, T2, p2, Y2, e02, wbar = st2.primitives_ws(st2.u, ws)
+        assert np.array_equal(rho, rho2)
+        for a, b in zip(vel, vel2):
+            assert np.array_equal(a, b)
+        assert np.array_equal(T, T2)
+        assert np.array_equal(p, p2)
+        assert np.array_equal(Y, Y2)
+        assert np.array_equal(e0, e02)
+        assert np.array_equal(wbar, mech.mean_weight(Y))
+
+    def test_warm_rerun_allocates_nothing(self):
+        mech = h2_li2004()
+        st = _make_state(mech, G2)
+        ws = Workspace()
+        st.primitives_ws(st.u, ws)
+        n = len(ws)
+        st.primitives_ws(st.u, ws)
+        assert len(ws) == n

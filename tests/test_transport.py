@@ -156,3 +156,44 @@ class TestSimpleTransport:
         props = tr.evaluate(np.array(400.0), P_ATM, air_y)
         cp = air_mech.cp_mass(np.array(400.0), air_y)
         assert float(props.viscosity * cp / props.conductivity) == pytest.approx(0.7)
+
+
+class TestWorkspaceEvaluate:
+    """The arena-backed transport evaluation is bitwise-equal to plain."""
+
+    @pytest.mark.parametrize("soret", [False, True])
+    def test_bitwise_vs_plain(self, h2_mech, soret):
+        from repro.core.workspace import Workspace
+
+        tr = MixtureAveragedTransport(h2_mech, soret=soret)
+        rng = np.random.default_rng(11)
+        S = (6, 5)
+        T = 400.0 + 1400.0 * rng.random(S)
+        p = P_ATM * (1.0 + 0.2 * (rng.random(S) - 0.5))
+        Y = rng.random((h2_mech.n_species,) + S) + 0.05
+        Y /= Y.sum(axis=0)
+        plain = tr.evaluate(T, p, Y)
+        fast = tr.evaluate(T, p, Y, workspace=Workspace())
+        assert np.array_equal(plain.viscosity, fast.viscosity)
+        assert np.array_equal(plain.conductivity, fast.conductivity)
+        assert np.array_equal(plain.diffusivities, fast.diffusivities)
+        if soret:
+            assert np.array_equal(plain.thermal_diffusion_ratios,
+                                  fast.thermal_diffusion_ratios)
+        else:
+            assert fast.thermal_diffusion_ratios is None
+
+    def test_warm_rerun_allocates_no_new_buffers(self, h2_mech):
+        from repro.core.workspace import Workspace
+
+        tr = MixtureAveragedTransport(h2_mech)
+        rng = np.random.default_rng(12)
+        S = (8,)
+        T = 400.0 + 1400.0 * rng.random(S)
+        Y = rng.random((h2_mech.n_species,) + S) + 0.05
+        Y /= Y.sum(axis=0)
+        ws = Workspace()
+        tr.evaluate(T, P_ATM, Y, workspace=ws)
+        n = len(ws)
+        tr.evaluate(T, 1.1 * P_ATM, Y, workspace=ws)
+        assert len(ws) == n
