@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the golden scenario summaries under tests/goldens/.
+
+Run after an *intentional* change to the numerics (discretization,
+chemistry, transport, boundaries, integrator):
+
+    PYTHONPATH=src python benchmarks/regen_goldens.py
+
+and explain the regeneration in the commit message. A refactor that is
+supposed to preserve the solution bit-for-bit (engine swaps, chemistry
+load balancing, loop restructures) must NOT need this script — if
+tests/test_golden.py fails after such a change, the refactor is wrong,
+not the goldens.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.golden import GOLDEN_SCENARIOS, write_golden  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "tests" / "goldens"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, builder in GOLDEN_SCENARIOS.items():
+        summary = builder()
+        path = GOLDEN_DIR / f"{name}.json"
+        write_golden(path, summary)
+        print(f"wrote {path}  (T mean {summary['T']['mean']:.3f} K, "
+              f"{summary['step_count']} steps to t={summary['time']:.3e} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,17 @@ shape ``S`` and concentration arrays of shape ``(Ns,) + S`` yield molar
 production rates of shape ``(Ns,) + S``; a small Python loop over the
 O(20) reactions wraps fused NumPy work over the grid, following the
 HPC-Python idiom of keeping the hot axis vectorized.
+
+Shape independence: every stoichiometric contraction is evaluated as a
+fixed-order sparse accumulation of elementwise operations (no BLAS
+``tensordot``), so the value computed for one grid cell is bitwise
+identical whatever array it arrives in — the full 3-D block, a
+flattened cell list, or any sub-batch of one. That invariance is what
+lets the chemistry load balancer
+(:mod:`repro.parallel.chemlb`) ship per-cell reaction work between
+ranks with a bitwise-reproducibility guarantee;
+:meth:`KineticsEvaluator.production_rates_cells` is the cell-list entry
+point it uses, and ``tests/test_kinetics.py`` asserts the invariance.
 """
 
 from __future__ import annotations
@@ -209,6 +220,20 @@ class KineticsEvaluator:
             [(self._index[name], nu) for name, nu in rxn.products]
             for rxn in self.reactions
         ]
+        # Sparse stoichiometry in fixed iteration order for the
+        # shape-independent contractions: per-reaction net-species terms
+        # (equilibrium-constant Δg) and per-species reaction terms
+        # (production rates). Iteration order is ascending index, so the
+        # accumulation order — hence the floating-point result — never
+        # depends on the grid shape or batch size.
+        self._net_terms = [
+            [(i, self.nu_net[i, j]) for i in range(ns) if self.nu_net[i, j] != 0.0]
+            for j in range(nr)
+        ]
+        self._species_terms = [
+            [(j, self.nu_net[i, j]) for j in range(nr) if self.nu_net[i, j] != 0.0]
+            for i in range(ns)
+        ]
 
     @property
     def n_reactions(self) -> int:
@@ -239,20 +264,56 @@ class KineticsEvaluator:
         """Concentration-based equilibrium constants Kc per reaction.
 
         ``Kc_r = (p_atm / Ru T)^{Δν_r} exp(-Δ(g/RuT)_r)``, with p_atm the
-        NASA standard-state pressure.
+        NASA standard-state pressure. The Δg contraction runs over the
+        sparse net stoichiometry in fixed species order (elementwise,
+        no BLAS) so per-cell results are batch-shape independent.
+
+        The ``(p_atm / Ru T)^{Δν}`` factor deliberately avoids a
+        broadcast ``**``: NumPy's pow ufunc dispatches to a different
+        kernel when the broadcast inner loop has length 1 (e.g. a
+        one-cell batch), which is 1 ulp off the long-loop result for
+        integer exponents. Integer Δν — every mechanism in this repo —
+        is applied as repeated multiply/divide, which IEEE 754 rounds
+        identically at any batch size.
         """
         T = np.asarray(T, dtype=float)
         g_rt = self.thermo.gibbs_over_rt(T)  # (Ns,)+S
-        dg = np.tensordot(self.nu_net, g_rt, axes=(0, 0))  # (Nr,)+S
+        dg = np.zeros((self.n_reactions,) + T.shape)
+        for j, terms in enumerate(self._net_terms):
+            acc = dg[j : j + 1]  # slice view: writable even for 0-d grids
+            for i, nu in terms:
+                if nu == 1.0:
+                    acc += g_rt[i]
+                elif nu == -1.0:
+                    acc -= g_rt[i]
+                else:
+                    acc += nu * g_rt[i]
         pow_base = P_ATM / (RU * T)
-        dnu = self._delta_nu.reshape((-1,) + (1,) * T.ndim)
-        return np.exp(-dg) * pow_base[None] ** dnu
+        kc = np.exp(-dg)
+        for j, dn in enumerate(self._delta_nu):
+            if dn == 0.0:
+                continue
+            acc = kc[j : j + 1]
+            if dn == int(dn):
+                for _ in range(abs(int(dn))):
+                    if dn > 0:
+                        acc *= pow_base
+                    else:
+                        acc /= pow_base
+            else:  # fractional Δν: 1-D contiguous ** scalar is stable
+                acc *= pow_base**dn
+        return kc
 
     def _third_body_conc(self, j, C):
+        """[M] for reaction ``j``: fixed-order elementwise accumulation
+        over species (shape-independent, see module docstring)."""
         eff = self._tb_eff[j]
         if eff is None:
             return C.sum(axis=0)
-        return np.tensordot(eff, C, axes=(0, 0))
+        m = eff[0] * C[0]
+        for i in range(1, len(eff)):
+            m += eff[i] * C[i]
+        return m
 
     def rates_of_progress(self, T, C):
         """Net rates of progress q_r [mol/(m^3 s)], shape (Nr,) + S."""
@@ -281,9 +342,58 @@ class KineticsEvaluator:
         return q
 
     def production_rates(self, T, C):
-        """Net molar production rates ω̇_i [mol/(m^3 s)], shape (Ns,) + S."""
+        """Net molar production rates ω̇_i [mol/(m^3 s)], shape (Ns,) + S.
+
+        The stoichiometric contraction accumulates over the sparse
+        per-species reaction list in fixed reaction order, so the value
+        for each cell is bitwise identical whether the cell is evaluated
+        in a full grid block, a flattened cell list, or any batch — the
+        invariance the chemistry load balancer relies on.
+        """
         q = self.rates_of_progress(T, C)
-        return np.tensordot(self.nu_net, q, axes=(1, 0))
+        T = np.asarray(T, dtype=float)
+        wdot = np.zeros((len(self.species_names),) + T.shape)
+        for i, terms in enumerate(self._species_terms):
+            acc = wdot[i : i + 1]  # slice view: writable even for 0-d grids
+            for j, nu in terms:
+                if nu == 1.0:
+                    acc += q[j]
+                elif nu == -1.0:
+                    acc -= q[j]
+                else:
+                    acc += nu * q[j]
+        return wdot
+
+    def production_rates_cells(self, T_cells, C_cells):
+        """Batched per-cell-list production rates (the chemlb entry point).
+
+        Parameters
+        ----------
+        T_cells:
+            Temperatures of the cells, shape ``(ncells,)``.
+        C_cells:
+            Molar concentrations, shape ``(Ns, ncells)``.
+
+        Returns ω̇ of shape ``(Ns, ncells)``. Because the whole evaluator
+        is shape-independent, each cell's rates are bitwise identical to
+        what a full-grid :meth:`production_rates` call produces for that
+        cell, for any batch size and ordering — the property the
+        load balancer's bit-exactness guarantee (and its local-evaluation
+        fault fallback) is built on.
+        """
+        T_cells = np.asarray(T_cells, dtype=float)
+        C_cells = np.asarray(C_cells, dtype=float)
+        if T_cells.ndim != 1 or C_cells.ndim != 2:
+            raise ValueError(
+                "production_rates_cells expects T of shape (ncells,) and "
+                f"C of shape (Ns, ncells); got {T_cells.shape} and {C_cells.shape}"
+            )
+        if C_cells.shape != (len(self.species_names),) + T_cells.shape:
+            raise ValueError(
+                f"C has shape {C_cells.shape}, expected "
+                f"({len(self.species_names)}, {T_cells.shape[0]})"
+            )
+        return self.production_rates(T_cells, C_cells)
 
     def heat_release_rate(self, T, C):
         """Volumetric heat release rate [W/m^3]: -Σ_i h_i(T) ω̇_i."""

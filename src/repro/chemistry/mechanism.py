@@ -243,6 +243,26 @@ class Mechanism:
         w = self.weights.reshape((-1,) + (1,) * (Y.ndim - 1))
         return wdot * w
 
+    def production_rates_cells(self, rho_cells, T_cells, Y_cells):
+        """Mass production rates for a flat cell list, shape (Ns, ncells).
+
+        ``rho_cells`` and ``T_cells`` have shape ``(ncells,)``,
+        ``Y_cells`` has shape ``(Ns, ncells)``. Per-cell results are
+        bitwise identical to :meth:`production_rates` on any grid shape
+        containing the same cells (see
+        :meth:`~repro.chemistry.kinetics.KineticsEvaluator.production_rates_cells`);
+        this is the entry point the chemistry load balancer
+        (:mod:`repro.parallel.chemlb`) evaluates shipped batches with.
+        """
+        Y_cells = np.asarray(Y_cells, dtype=float)
+        if self.kinetics is None:
+            return np.zeros_like(Y_cells)
+        C = self.concentrations(rho_cells, Y_cells)
+        wdot = self.kinetics.production_rates_cells(
+            np.asarray(T_cells, dtype=float), C
+        )
+        return wdot * self.weights.reshape((-1, 1))
+
     def heat_release_rate(self, rho, T, Y):
         """Volumetric heat release [W/m^3]."""
         if self.kinetics is None:

@@ -97,6 +97,17 @@ class SolverConfig:
         :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
         backend; ``None`` (default) — use the process default (the
         ``REPRO_TELEMETRY`` environment switch).
+    chem_load_balance:
+        Chemistry dynamic-load-balancing policy: ``"off"`` (strict
+        owner-computes, the default), ``"greedy"``, or
+        ``"pairwise-diffusion"`` (see
+        :data:`repro.parallel.chemlb.POLICIES`); ``None`` defers to the
+        ``REPRO_CHEM_LB`` environment switch, falling back to ``"off"``.
+        Consumed by
+        :class:`~repro.parallel.solver.ParallelPeriodicSolver`; the
+        single-rank serial solver has nothing to balance and ignores it.
+        Every policy is bitwise identical to ``"off"`` on conserved
+        state.
     """
 
     boundaries: dict = field(default_factory=dict)
@@ -107,6 +118,7 @@ class SolverConfig:
     scheme: str = "rkf45"
     rhs_engine: str | None = None
     telemetry: bool | None = None
+    chem_load_balance: str | None = None
 
     def validate(self, grid) -> None:
         """Cross-check the boundary map against the grid."""
@@ -130,6 +142,14 @@ class SolverConfig:
             if self.rhs_engine not in ENGINES:
                 raise ValueError(
                     f"unknown rhs_engine {self.rhs_engine!r}; choose from {ENGINES}"
+                )
+        if self.chem_load_balance is not None:
+            from repro.parallel.chemlb import POLICIES
+
+            if self.chem_load_balance not in POLICIES:
+                raise ValueError(
+                    f"unknown chem_load_balance {self.chem_load_balance!r}; "
+                    f"choose from {POLICIES}"
                 )
 
 

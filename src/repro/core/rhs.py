@@ -98,6 +98,18 @@ class CompressibleRHS:
     workspace:
         Optional shared :class:`~repro.core.workspace.Workspace`; by
         default each RHS owns a private arena.
+    reaction_delegate:
+        Optional hook taking over the chemical source-term evaluation:
+        called as ``delegate(rhs, t, rho, T, Y)`` in place of the
+        internal ``mech.production_rates`` call. Returning a mass
+        production-rate array ``(Ns,) + S`` applies it exactly as the
+        internal path would; returning ``None`` *defers* the reaction
+        terms entirely — the caller adds them later (the chemistry
+        load balancer of :mod:`repro.parallel.chemlb` does this to ship
+        per-cell reaction work between ranks). Whenever the delegate is
+        consulted, the primitive inputs it saw are stashed on
+        :attr:`last_reaction_inputs` as ``(rho, T, Y)`` views (valid
+        until the next evaluation).
 
     Notes
     -----
@@ -108,7 +120,8 @@ class CompressibleRHS:
     """
 
     def __init__(self, state, transport=None, boundaries=None, reacting=True,
-                 telemetry=None, engine=None, workspace=None):
+                 telemetry=None, engine=None, workspace=None,
+                 reaction_delegate=None):
         self.state = state
         self.mech = state.mech
         self.grid = state.grid
@@ -129,9 +142,12 @@ class CompressibleRHS:
         self.workspace = workspace if workspace is not None else Workspace(
             telemetry=self.telemetry
         )
+        self.reaction_delegate = reaction_delegate
         self._props_cache = None
         #: populated after every evaluation — kernel-level diagnostics
         self.last_heat_release = None
+        #: (rho, T, Y) views from the last delegated evaluation
+        self.last_reaction_inputs = None
 
     @property
     def supports_out(self) -> bool:
@@ -365,8 +381,13 @@ class CompressibleRHS:
 
         # -- chemical sources --------------------------------------------
         if self.reacting and mech.n_reactions:
-            with tel.span("REACTION_RATES"):
-                wdot_mass = mech.production_rates(rho, T, Y)
+            if self.reaction_delegate is not None:
+                self.last_reaction_inputs = (rho, T, Y)
+                wdot_mass = self.reaction_delegate(self, t, rho, T, Y)
+            else:
+                with tel.span("REACTION_RATES"):
+                    wdot_mass = mech.production_rates(rho, T, Y)
+            if wdot_mass is not None:
                 du[st.species_slice] += wdot_mass[:nt]
                 hr = ws.array("rhs.heat_release", S)
                 tmp_ns = ws.array("rhs.tmp_ns", (ns,) + S)
@@ -374,6 +395,9 @@ class CompressibleRHS:
                 np.sum(tmp_ns, axis=0, out=hr)
                 np.negative(hr, out=hr)
                 self.last_heat_release = hr
+            else:
+                # deferred: the delegating caller owns the source terms
+                self.last_heat_release = None
         else:
             self.last_heat_release = ws.zeros("rhs.heat_release", S)
 
@@ -480,13 +504,21 @@ class CompressibleRHS:
 
         # -- chemical sources --------------------------------------------
         if self.reacting and mech.n_reactions:
-            with tel.span("REACTION_RATES"):
-                wdot_mass = mech.production_rates(rho, T, Y)
+            if self.reaction_delegate is not None:
+                self.last_reaction_inputs = (rho, T, Y)
+                wdot_mass = self.reaction_delegate(self, t, rho, T, Y)
+            else:
+                with tel.span("REACTION_RATES"):
+                    wdot_mass = mech.production_rates(rho, T, Y)
+            if wdot_mass is not None:
                 for k in range(st.n_transported):
                     du[st.i_species(k)] += wdot_mass[k]
                 if h_i is None:
                     h_i = mech.species_enthalpy_mass(T)
                 self.last_heat_release = -(h_i * wdot_mass).sum(axis=0)
+            else:
+                # deferred: the delegating caller owns the source terms
+                self.last_heat_release = None
         else:
             self.last_heat_release = np.zeros_like(rho)
 

@@ -8,9 +8,18 @@ simulated MPI that preserves the *communication structure* — ranks,
 cartesian topology, point-to-point sends with byte accounting,
 collectives — which the performance model (§4) and the parallel I/O
 layer (§5) observe, plus a rank-parallel solver wrapper whose results
-are bitwise-reproducible against the serial solver.
+are bitwise-reproducible against the serial solver, and a chemistry
+dynamic load balancer (:mod:`repro.parallel.chemlb`) that ships
+reaction-zone cell batches from over-threshold ranks to underloaded
+ones without changing a single bit of the answer.
 """
 
+from repro.parallel.chemlb import (
+    CellCostModel,
+    ChemistryLoadBalancer,
+    POLICIES as CHEMLB_POLICIES,
+    plan_assignment,
+)
 from repro.parallel.comm import SimMPI, SimComm, MessageLog
 from repro.parallel.decomp import CartesianDecomposition, block_range
 from repro.parallel.halo import HaloExchanger
@@ -25,4 +34,8 @@ __all__ = [
     "HaloExchanger",
     "ParallelField",
     "parallel_derivative",
+    "ChemistryLoadBalancer",
+    "CellCostModel",
+    "CHEMLB_POLICIES",
+    "plan_assignment",
 ]

@@ -28,6 +28,7 @@ from repro.core.erk import SCHEMES
 from repro.core.grid import Grid
 from repro.core.rhs import CompressibleRHS
 from repro.core.state import State
+from repro.parallel import chemlb
 from repro.parallel.halo import HaloExchanger
 from repro.telemetry import resolve as resolve_telemetry
 
@@ -108,11 +109,26 @@ class ParallelPeriodicSolver:
         ``REPRO_RHS_ENGINE`` environment switch). Both engines are
         bitwise identical, so the serial-equivalence guarantee holds for
         either.
+    chem_load_balance:
+        Chemistry dynamic-load-balancing policy (``"off"``, ``"greedy"``,
+        ``"pairwise-diffusion"``; None defers to the ``REPRO_CHEM_LB``
+        environment switch). When active, per-rank RHS evaluations defer
+        their reaction source terms and a
+        :class:`~repro.parallel.chemlb.ChemistryLoadBalancer` evaluates
+        the owned interior cells instead, shipping batches from
+        over-threshold ranks to underloaded ones. Per-cell kinetics are
+        shape-independent, so conserved state stays bitwise identical to
+        ``"off"`` for every policy.
+    chemlb_threshold, chemlb_cost_model, chemlb_work_model:
+        Forwarded to the balancer (imbalance trigger, per-cell cost
+        model, optional stiffness work emulation).
     """
 
     def __init__(self, mechanism, grid, decomp, world, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
-                 filter_interval=1, telemetry=None, rhs_engine=None):
+                 filter_interval=1, telemetry=None, rhs_engine=None,
+                 chem_load_balance=None, chemlb_threshold=1.1,
+                 chemlb_cost_model=None, chemlb_work_model=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -127,6 +143,19 @@ class ParallelPeriodicSolver:
         self.halo = HaloExchanger(decomp, world, width=DEEP_HALO,
                                   telemetry=self.telemetry)
         self.spacings = [grid.spacing(a) for a in range(grid.ndim)]
+        policy = chemlb.resolve_policy(chem_load_balance)
+        self.chemlb = None
+        if policy != "off" and reacting and mechanism.n_reactions:
+            self.chemlb = chemlb.ChemistryLoadBalancer(
+                mechanism, world, policy=policy,
+                cost_model=chemlb_cost_model, threshold=chemlb_threshold,
+                work_model=chemlb_work_model, telemetry=self.telemetry,
+            )
+        # when balancing, rank RHS defers its reaction sources: the
+        # delegate returns None, the RHS stashes (rho, T, Y) on
+        # last_reaction_inputs, and _rhs_all adds balanced wdot to the
+        # owned interior instead
+        delegate = (lambda rhs, t, rho, T, Y: None) if self.chemlb else None
         # per-rank extended grids / states / RHS evaluators
         self._rank_rhs = []
         self._rank_state = []
@@ -142,7 +171,8 @@ class ParallelPeriodicSolver:
             self._rank_rhs.append(
                 CompressibleRHS(st, transport=transport, boundaries={},
                                 reacting=reacting, telemetry=self.telemetry,
-                                engine=rhs_engine)
+                                engine=rhs_engine,
+                                reaction_delegate=delegate)
             )
             self._filters.append(
                 [
@@ -169,7 +199,26 @@ class ParallelPeriodicSolver:
         out = []
         for rank in range(self.decomp.size):
             du_ext = self._rank_rhs[rank](t, extended[rank])
-            out.append(du_ext[self.halo.interior_slices(rank, leading_axes=1)])
+            out.append(
+                np.ascontiguousarray(
+                    du_ext[self.halo.interior_slices(rank, leading_axes=1)]
+                )
+            )
+        if self.chemlb is not None:
+            # reaction sources were deferred: evaluate the owned interior
+            # cells through the balancer and add them exactly where the
+            # serial RHS would (du[species] += wdot_mass[:nt])
+            prims = []
+            for rank in range(self.decomp.size):
+                rho, T, Y = self._rank_rhs[rank].last_reaction_inputs
+                isl = self.halo.interior_slices(rank)
+                isl1 = self.halo.interior_slices(rank, leading_axes=1)
+                prims.append((rho[isl], T[isl], Y[isl1]))
+            wdots = self.chemlb.production_rates(prims)
+            for rank in range(self.decomp.size):
+                st = self._rank_state[rank]
+                nt = st.n_transported
+                out[rank][st.species_slice] += wdots[rank][:nt]
         return out
 
     def step(self, dt: float) -> None:

@@ -25,7 +25,13 @@ from repro.perfmodel.machine import NodeModel, XT3, XT4, HybridSystem
 from repro.perfmodel.kernels import KernelSpec, s3d_kernel_inventory
 from repro.perfmodel.roofline import kernel_time, roofline_report
 from repro.perfmodel.weakscaling import weak_scaling_curve, hybrid_weak_scaling
-from repro.perfmodel.loadbalance import rebalanced_cost, balance_curve
+from repro.perfmodel.loadbalance import (
+    balance_curve,
+    chemistry_imbalance,
+    predicted_chemistry_profile,
+    predicted_chemistry_speedup,
+    rebalanced_cost,
+)
 from repro.perfmodel.profiler import (
     SimProfiler,
     profile_hybrid_run,
@@ -45,6 +51,9 @@ __all__ = [
     "hybrid_weak_scaling",
     "rebalanced_cost",
     "balance_curve",
+    "chemistry_imbalance",
+    "predicted_chemistry_profile",
+    "predicted_chemistry_speedup",
     "SimProfiler",
     "profile_hybrid_run",
     "rank_profile_from_telemetry",

@@ -52,3 +52,44 @@ def balance_curve(fractions=None, inventory=None):
 def predicted_jaguar_cost(inventory=None) -> float:
     """Cost at Jaguar's 46 % XT4 share (paper predicts ~61 us)."""
     return rebalanced_cost(0.46, inventory)
+
+
+# ---------------------------------------------------------------------------
+# chemistry load balancing: the Fig 3 idea applied to reaction work
+# ---------------------------------------------------------------------------
+def chemistry_imbalance(loads) -> float:
+    """Load-imbalance factor max/mean — the weak-scaling penalty of a
+    bulk-synchronous step whose slowest rank gates everyone."""
+    loads = np.asarray(loads, dtype=float)
+    mean = loads.mean()
+    if mean <= 0.0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def predicted_chemistry_profile(cell_costs_per_rank, policy: str = "greedy",
+                                threshold: float = 1.1, sweeps: int = 3):
+    """Per-rank chemistry loads before/after dynamic balancing.
+
+    ``cell_costs_per_rank`` holds one 1-D per-cell cost array per rank
+    (e.g. from :meth:`repro.parallel.chemlb.CellCostModel.cell_costs`
+    on a stiffness field). Runs the *same* planner as the runtime
+    balancer, so this Fig-3-style prediction stays consistent with the
+    implementation by construction. Returns ``(before, after)`` arrays.
+    """
+    from repro.parallel.chemlb import plan_assignment
+
+    plan = plan_assignment(cell_costs_per_rank, policy=policy,
+                           threshold=threshold, sweeps=sweeps)
+    return plan.loads_before, plan.loads_after
+
+
+def predicted_chemistry_speedup(cell_costs_per_rank, policy: str = "greedy",
+                                threshold: float = 1.1, sweeps: int = 3) -> float:
+    """Predicted max-rank chemistry-time reduction factor (>= 1)."""
+    before, after = predicted_chemistry_profile(
+        cell_costs_per_rank, policy=policy, threshold=threshold, sweeps=sweeps
+    )
+    if after.max() <= 0.0:
+        return 1.0
+    return float(before.max() / after.max())

@@ -1,11 +1,55 @@
 """Shared fixtures: mechanisms are session-scoped (construction is cheap
-but reused hundreds of times)."""
+but reused hundreds of times); NumPy's RNG is seeded per-test.
+
+Every test runs with ``np.random`` seeded from a CRC32 of its node id,
+so stochastic tests are reproducible in isolation: rerunning a single
+failing test re-derives the same seed, no ``-p no:randomly``-style
+machinery needed. The seed is recorded as a ``numpy-seed`` user
+property (visible in junit XML) and echoed in the failure report.
+Tests that want a modern generator use the ``rng`` fixture, which is
+seeded the same way.
+"""
+
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.chemistry import h2_li2004, ch4_onestep, ch4_twostep
 from repro.chemistry.mechanisms import air
+
+
+def _node_seed(request) -> int:
+    return zlib.crc32(request.node.nodeid.encode())
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy_rng(request):
+    """Seed the legacy global NumPy RNG deterministically per-test."""
+    seed = _node_seed(request)
+    np.random.seed(seed)
+    request.node.user_properties.append(("numpy-seed", seed))
+    yield
+
+
+@pytest.fixture
+def rng(request):
+    """A per-test `numpy.random.Generator` with a reported seed."""
+    return np.random.default_rng(_node_seed(request))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call" and rep.failed:
+        for name, value in item.user_properties:
+            if name == "numpy-seed":
+                rep.sections.append((
+                    "numpy seed",
+                    f"np.random seeded with {value} "
+                    "(crc32 of the test node id — stable across runs)",
+                ))
 
 
 @pytest.fixture(scope="session")

@@ -216,6 +216,39 @@ class TestProductionRates:
         dups = [r for r in h2_mech.reactions if r.duplicate]
         assert len(dups) == 4  # two duplicate pairs in Li 2004
 
+    def test_batch_shape_independence(self, h2_mech, rng):
+        """Per-cell rates are bitwise identical at any batch size.
+
+        The chemistry load balancer's bit-exactness guarantee rests on
+        this: a cell evaluated in a shipped batch, a one-cell fallback,
+        or the full grid block must produce identical bits. Regression
+        guard for the broadcast-pow 1-ulp divergence NumPy's length-1
+        inner loops used to trigger in ``equilibrium_constants``.
+        """
+        n = 257  # odd size: exercises SIMD remainder tails
+        T = np.where(rng.random(n) < 0.5, 300.0, 1500.0) + 5.0 * rng.random(n)
+        Y = np.zeros((h2_mech.n_species, n))
+        Y[h2_mech.index("H2")] = 0.028
+        Y[h2_mech.index("O2")] = 0.226
+        Y[h2_mech.index("OH")] = 0.001 * rng.random(n)
+        Y[h2_mech.index("N2")] = 1.0 - Y.sum(axis=0)
+        rho = 0.4 + 0.05 * rng.random(n)
+        full = h2_mech.production_rates_cells(rho, T, Y)
+        # every cell as a one-cell batch
+        for i in range(n):
+            one = h2_mech.production_rates_cells(
+                rho[i : i + 1], T[i : i + 1], Y[:, i : i + 1]
+            )
+            assert np.array_equal(one[:, 0], full[:, i]), f"cell {i}"
+        # a shuffled contiguous sub-batch
+        idx = rng.permutation(n)[:100]
+        sub = h2_mech.production_rates_cells(
+            np.ascontiguousarray(rho[idx]),
+            np.ascontiguousarray(T[idx]),
+            np.ascontiguousarray(Y[:, idx]),
+        )
+        assert np.array_equal(sub, full[:, idx])
+
     def test_orders_override(self):
         """FORD-style orders change effective concentration dependence."""
         from repro.chemistry.mechanisms.builders import make_species

@@ -1,0 +1,134 @@
+"""Method-of-manufactured-solutions convergence of the *full* RHS.
+
+Operator-level tests (tests/test_derivatives.py) pin the formal order of
+each stencil in isolation; these tests verify that the assembled
+compressible reacting RHS — convection, viscous/diffusive fluxes,
+temperature recovery, and chemistry together — converges at the formal
+order of the 8th-order spatial discretization.
+
+Method: evaluate the RHS of smooth manufactured periodic fields on a
+sequence of coarse grids and on one much finer reference grid of the
+same domain. Uniform periodic grids with ``N | N_ref`` share grid
+points exactly, so the reference RHS restricted to the shared points
+differs from the true RHS by ``O(dx_ref^8)`` — negligible against the
+coarse-grid error. Pointwise terms (chemistry, the Newton temperature
+solve) are identical functions of identical inputs at shared points, so
+only the spatially discretized terms contribute to the measured error,
+which is exactly what should converge at the stencil's formal order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.rhs import CompressibleRHS
+from repro.core.state import State
+from repro.transport import ConstantLewisTransport
+
+pytestmark = pytest.mark.mms
+
+#: formal order of the interior discretization (8th-order central)
+FORMAL_ORDER = 8
+#: observed order must land within this of the formal order
+ORDER_TOL = 1.0
+
+
+def _manufactured_primitives(mech, grid):
+    """Smooth periodic fields with O(1) variation in every variable."""
+    mesh = grid.meshgrid()
+    L = grid.lengths
+    # phase sums over all axes so every direction is exercised
+    ph = sum(2.0 * np.pi * x / l for x, l in zip(mesh, L))
+    ph2 = sum(4.0 * np.pi * x / l for x, l in zip(mesh, L))
+    # keep T strictly inside one NASA-polynomial branch (T > 1000 K):
+    # the 1000 K knot is only C^1, and crossing it puts kinks in e(T)
+    # whose algebraic spectral decay would cap the observed order
+    T = 1500.0 + 200.0 * np.sin(ph) + 60.0 * np.cos(ph2)
+    vel = [
+        30.0 * np.sin(ph + 0.3 * a) + 10.0 * np.cos(ph2 - 0.2 * a)
+        for a in range(grid.ndim)
+    ]
+    ns = mech.n_species
+    Y = np.zeros((ns,) + grid.shape)
+    Y[mech.index("H2")] = 0.02 + 0.008 * np.sin(ph)
+    Y[mech.index("O2")] = 0.22 + 0.02 * np.cos(ph)
+    Y[mech.index("H2O")] = 0.05 + 0.01 * np.sin(ph2)
+    Y[mech.index("OH")] = 0.002 + 0.001 * np.cos(ph2)
+    Y[mech.index("N2")] = 1.0 - Y.sum(axis=0)
+    p = 101325.0 * (1.0 + 0.05 * np.sin(ph))
+    rho = mech.density(p, T, Y)
+    return rho, vel, T, Y
+
+
+def _rhs_field(mech, shape, lengths, reacting=True):
+    """Full RHS of the manufactured fields on a periodic grid."""
+    grid = Grid(shape, lengths, periodic=(True,) * len(shape))
+    rho, vel, T, Y = _manufactured_primitives(mech, grid)
+    state = State.from_primitive(mech, grid, rho, vel, T, Y)
+    rhs = CompressibleRHS(
+        state,
+        transport=ConstantLewisTransport(mech),
+        boundaries={},
+        reacting=reacting,
+    )
+    return rhs(0.0, state.u)
+
+
+def _restrict(fine, step, ndim):
+    """Fine-grid array restricted to every ``step``-th point per axis."""
+    sl = (slice(None),) + (slice(None, None, step),) * ndim
+    return fine[sl]
+
+
+def _observed_orders(mech, sizes, n_ref, lengths, reacting=True):
+    """Observed convergence orders of the full RHS across ``sizes``."""
+    ndim = len(lengths)
+    du_ref = _rhs_field(mech, (n_ref,) * ndim, lengths, reacting=reacting)
+    ref_norm = np.sqrt(np.mean(du_ref**2))
+    errors = []
+    for n in sizes:
+        assert n_ref % n == 0, "coarse grids must share points with the reference"
+        du = _rhs_field(mech, (n,) * ndim, lengths, reacting=reacting)
+        ref = _restrict(du_ref, n_ref // n, ndim)
+        errors.append(np.sqrt(np.mean((du - ref) ** 2)) / ref_norm)
+    errors = np.array(errors)
+    # all errors must be resolvable above the reference-grid floor
+    assert errors.min() > 1e-13, f"errors hit roundoff floor: {errors}"
+    ratios = np.array(sizes[1:]) / np.array(sizes[:-1], dtype=float)
+    return np.log(errors[:-1] / errors[1:]) / np.log(ratios), errors
+
+
+class TestFullRHSConvergence1D:
+    def test_reacting_viscous_order(self, h2_mech):
+        orders, errors = _observed_orders(
+            h2_mech, sizes=(32, 64, 128), n_ref=512, lengths=(0.02,)
+        )
+        assert errors[0] > errors[-1], f"no convergence: {errors}"
+        for o in orders:
+            assert abs(o - FORMAL_ORDER) < ORDER_TOL, (
+                f"observed orders {orders} not within {ORDER_TOL} of "
+                f"formal order {FORMAL_ORDER} (errors {errors})"
+            )
+
+    def test_inert_order_matches(self, h2_mech):
+        # chemistry is pointwise-exact at shared points, so switching it
+        # off must not change the observed order
+        orders, _ = _observed_orders(
+            h2_mech, sizes=(32, 64, 128), n_ref=512, lengths=(0.02,),
+            reacting=False,
+        )
+        for o in orders:
+            assert abs(o - FORMAL_ORDER) < ORDER_TOL, f"orders {orders}"
+
+
+@pytest.mark.slow
+class TestFullRHSConvergence2D:
+    def test_reacting_viscous_order(self, h2_mech):
+        orders, errors = _observed_orders(
+            h2_mech, sizes=(32, 64), n_ref=128, lengths=(0.02, 0.02)
+        )
+        assert errors[0] > errors[-1], f"no convergence: {errors}"
+        for o in orders:
+            assert abs(o - FORMAL_ORDER) < ORDER_TOL, (
+                f"observed orders {orders} (errors {errors})"
+            )
