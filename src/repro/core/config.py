@@ -97,6 +97,14 @@ class SolverConfig:
         :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
         backend; ``None`` (default) — use the process default (the
         ``REPRO_TELEMETRY`` environment switch).
+    observability:
+        Health-observatory mode: ``"off"`` (null monitor, zero cost),
+        ``"on"`` (standard watchdogs + flight recorder), or ``"full"``
+        (adds the conservation watchdog on all-periodic grids, the
+        per-RK-stage NaN guard, and telemetry deltas in step records).
+        Booleans map to ``"on"``/``"off"``; ``None`` (default) defers to
+        the ``REPRO_OBSERVABILITY`` environment switch, falling back to
+        ``"off"``. See :mod:`repro.observability`.
     chem_load_balance:
         Chemistry dynamic-load-balancing policy: ``"off"`` (strict
         owner-computes, the default), ``"greedy"``, or
@@ -118,6 +126,7 @@ class SolverConfig:
     scheme: str = "rkf45"
     rhs_engine: str | None = None
     telemetry: bool | None = None
+    observability: object = None
     chem_load_balance: str | None = None
 
     def validate(self, grid) -> None:
@@ -143,6 +152,10 @@ class SolverConfig:
                 raise ValueError(
                     f"unknown rhs_engine {self.rhs_engine!r}; choose from {ENGINES}"
                 )
+        if self.observability is not None:
+            from repro.observability import resolve_mode
+
+            resolve_mode(self.observability)  # raises on unknown mode
         if self.chem_load_balance is not None:
             from repro.parallel.chemlb import POLICIES
 

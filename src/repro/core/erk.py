@@ -47,8 +47,13 @@ class ButcherERK:
             self._kbuf = np.empty(shape)
         return self._kbuf
 
-    def _stages(self, rhs, t, u, dt):
-        """Evaluate all stage slopes k_i; returns the list of k arrays."""
+    def _stages(self, rhs, t, u, dt, stage_hook=None):
+        """Evaluate all stage slopes k_i; returns the list of k arrays.
+
+        ``stage_hook(i, k_i)`` is called after each stage evaluation —
+        the observability layer's per-stage NaN guard hangs here, so a
+        poisoned slope is caught before it blends into the state.
+        """
         kbuf = self._stage_buffers(rhs, u)
         k = []
         for i in range(self.stages):
@@ -60,16 +65,18 @@ class ButcherERK:
                 k.append(rhs(t + self.c[i] * dt, ui))
             else:
                 k.append(rhs(t + self.c[i] * dt, ui, out=kbuf[i]))
+            if stage_hook is not None:
+                stage_hook(i, k[-1])
         return k
 
-    def step(self, rhs, t, u, dt):
+    def step(self, rhs, t, u, dt, stage_hook=None):
         """One step; returns the updated state array."""
-        k = self._stages(rhs, t, u, dt)
+        k = self._stages(rhs, t, u, dt, stage_hook=stage_hook)
         return u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
 
-    def step_with_error(self, rhs, t, u, dt):
+    def step_with_error(self, rhs, t, u, dt, stage_hook=None):
         """One step plus the embedded-scheme error estimate (or None)."""
-        k = self._stages(rhs, t, u, dt)
+        k = self._stages(rhs, t, u, dt, stage_hook=stage_hook)
         unew = u + dt * sum(bi * ki for bi, ki in zip(self.b, k) if bi != 0.0)
         err = None
         if self.b_embedded is not None:
@@ -95,7 +102,7 @@ class LowStorageERK:
         self.stages = len(self.b)
         self._fbuf = None
 
-    def step(self, rhs, t, u, dt):
+    def step(self, rhs, t, u, dt, stage_hook=None):
         """One step; in low-storage form (two registers)."""
         u = np.array(u, dtype=float, copy=True)
         du = np.zeros_like(u)
@@ -106,15 +113,20 @@ class LowStorageERK:
             du *= self.a[i]
             if use_out:
                 f = rhs(t + self.c[i] * dt, u, out=self._fbuf)
+                if stage_hook is not None:
+                    stage_hook(i, f)
                 f *= dt
                 du += f
             else:
-                du += dt * rhs(t + self.c[i] * dt, u)
+                f = rhs(t + self.c[i] * dt, u)
+                if stage_hook is not None:
+                    stage_hook(i, f)
+                du += dt * f
             u += self.b[i] * du
         return u
 
-    def step_with_error(self, rhs, t, u, dt):
-        return self.step(rhs, t, u, dt), None
+    def step_with_error(self, rhs, t, u, dt, stage_hook=None):
+        return self.step(rhs, t, u, dt, stage_hook=stage_hook), None
 
 
 def _rkf45() -> ButcherERK:
@@ -193,6 +205,9 @@ class ERKIntegrator:
             self.scheme = SCHEMES[scheme]()
         except KeyError:
             raise ValueError(f"unknown ERK scheme {scheme!r}; choose from {sorted(SCHEMES)}") from None
+        #: optional per-stage callback ``hook(stage_index, k_stage)``;
+        #: the health monitor's RK-stage NaN guard installs here
+        self.stage_hook = None
 
     @property
     def name(self) -> str:
@@ -208,7 +223,7 @@ class ERKIntegrator:
 
     def step(self, rhs, t, u, dt):
         """Advance ``u`` from ``t`` to ``t + dt``."""
-        return self.scheme.step(rhs, t, u, dt)
+        return self.scheme.step(rhs, t, u, dt, stage_hook=self.stage_hook)
 
     def integrate(self, rhs, t0, u0, t1, n_steps: int):
         """Fixed-step integration; returns the final state."""

@@ -59,7 +59,8 @@ class S3DSolver:
                                         telemetry=self.telemetry)
         self.time = 0.0
         self.step_count = 0
-        self.timers = TimerRegistry()
+        self.timers = TimerRegistry(telemetry=self.telemetry)
+        self.health = self._resolve_health(config)
         self.checkpoint_hook = None
         self.insitu_hook = None
         self.monitor_history = []  # list of (step, time, {var: (min, max)})
@@ -76,6 +77,11 @@ class S3DSolver:
         if config.telemetry is False:
             return _telemetry.NULL_TELEMETRY
         return _telemetry.get_telemetry()
+
+    def _resolve_health(self, config):
+        from repro.observability import for_solver
+
+        return for_solver(self, config.observability)
 
     # ------------------------------------------------------------------
     def compute_dt(self) -> float:
@@ -114,9 +120,22 @@ class S3DSolver:
 
     def run(self, n_steps: int, monitor_interval: int = 0,
             checkpoint_interval: int = 0, insitu_interval: int = 0):
-        """Advance ``n_steps`` steps, firing hooks at the given intervals."""
+        """Advance ``n_steps`` steps, firing hooks at the given intervals.
+
+        With observability enabled (``config.observability`` or
+        ``REPRO_OBSERVABILITY``), the health monitor checks its
+        watchdogs after each step; a trip raises
+        :class:`~repro.observability.watchdogs.WatchdogTripError`. The
+        disabled path costs a single attribute check per step.
+        """
+        health = self.health
         for _ in range(n_steps):
-            self.step()
+            if health.enabled:
+                t0 = health.clock()
+                dt = self.step()
+                health.on_step(dt, health.clock() - t0)
+            else:
+                self.step()
             if monitor_interval and self.step_count % monitor_interval == 0:
                 self.record_monitor()
             if (

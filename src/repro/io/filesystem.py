@@ -196,6 +196,23 @@ class SimFileSystem:
     def file_bytes(self, path: str) -> bytes:
         return bytes(self._files[path])
 
+    def write_bytes(self, path: str, data: bytes, client: int = 0) -> str:
+        """Open-and-write a whole small file from one client.
+
+        Convenience for single-writer artifacts (flight-recorder dumps,
+        HTML reports): one :meth:`open` plus a one-request write phase,
+        so accounting and armed ``fs.*`` faults apply exactly as for
+        checkpoints. Returns ``path``.
+        """
+        self.open(path, n_clients=1, create=True)
+        self.phase_write([WriteRequest(client=client, path=path, offset=0,
+                                       data=bytes(data))])
+        return path
+
+    def read_text(self, path: str, encoding: str = "utf-8") -> str:
+        """Read a whole file back as text (charged like a full read)."""
+        return self.read(path, 0, self.file_size(path)).decode(encoding)
+
     def file_size(self, path: str) -> int:
         return len(self._files[path])
 

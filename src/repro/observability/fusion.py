@@ -1,0 +1,240 @@
+"""Cross-rank profile fusion: per-rank telemetry into Fig 2 / Fig 3 views.
+
+The paper's TAU methodology reduces thousands of per-rank profiles to
+per-kernel statistics (Fig 2) and a load-imbalance story (Fig 3). This
+module does the same with live data: every rank serializes its
+``Telemetry.snapshot()`` and ships it over ``SimMPI`` to a root rank,
+which fuses them into a :class:`FusedProfile` — per-kernel
+min/median/max/mean exclusive times plus the max/mean imbalance factor
+(the same statistic :func:`repro.perfmodel.loadbalance.chemistry_imbalance`
+computes), so the ``chemlb`` speedups can be validated from measured
+rank profiles rather than the cost model.
+
+Legacy :class:`~repro.util.timers.Timer` call sites forwarded into
+telemetry histograms (``timer.<name>``) fuse alongside the spans, so
+the old timing namespace appears in the same table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perfmodel.loadbalance import chemistry_imbalance
+
+__all__ = [
+    "FUSION_TAG",
+    "FusedKernelRow",
+    "FusedProfile",
+    "collect_snapshots",
+    "fuse_profiles",
+    "fuse_solver_profiles",
+]
+
+#: message tag for snapshot shipping (off the halo/chemlb tag ranges)
+FUSION_TAG = 9102
+
+
+def collect_snapshots(world, telemetries, root: int = 0) -> list:
+    """Gather every rank's telemetry snapshot at ``root`` over SimMPI.
+
+    ``telemetries`` holds one backend per rank. Non-root ranks encode
+    their snapshot as JSON bytes and ``Send`` to the root, which
+    receives them in rank order — the reduction pattern a real TAU
+    profile merge runs at job end. Returns the per-rank snapshot dicts
+    (indexed by rank). Message traffic lands in the world's message
+    log and in the root's ``fusion.*`` counters.
+    """
+    if len(telemetries) != world.size:
+        raise ValueError(
+            f"need one telemetry per rank ({world.size}), got {len(telemetries)}"
+        )
+    payloads = [
+        json.dumps(telemetries[rank].snapshot(), sort_keys=True).encode()
+        for rank in range(world.size)
+    ]
+    tel = telemetries[root]
+    snapshots = []
+    with tel.span("PROFILE_FUSION"):
+        raw = world.gather_bytes(payloads, root=root, tag=FUSION_TAG)
+        for rank, payload in enumerate(raw):
+            if rank != root:
+                tel.counter("fusion.bytes").inc(len(payload))
+                tel.counter("fusion.messages").inc()
+            snapshots.append(json.loads(payload.decode()))
+    return snapshots
+
+
+@dataclass
+class FusedKernelRow:
+    """Per-kernel statistics across ranks (exclusive seconds)."""
+
+    name: str
+    per_rank: list = field(default_factory=list)
+    calls: int = 0
+
+    @property
+    def tmin(self) -> float:
+        return float(np.min(self.per_rank))
+
+    @property
+    def tmax(self) -> float:
+        return float(np.max(self.per_rank))
+
+    @property
+    def tmean(self) -> float:
+        return float(np.mean(self.per_rank))
+
+    @property
+    def tmedian(self) -> float:
+        return float(np.median(self.per_rank))
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — the Fig 3 bulk-synchronous penalty factor."""
+        return chemistry_imbalance(self.per_rank)
+
+
+class FusedProfile:
+    """Fused cross-rank profile: Fig 2 table + Fig 3 imbalance report."""
+
+    def __init__(self, rows: dict, n_ranks: int):
+        self.rows = rows  # name -> FusedKernelRow
+        self.n_ranks = int(n_ranks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.rows
+
+    def kernels(self) -> list:
+        """Kernel names, heaviest mean exclusive time first."""
+        return sorted(self.rows, key=lambda k: (-self.rows[k].tmean, k))
+
+    def loads(self, kernel: str) -> np.ndarray:
+        """Per-rank exclusive seconds for one kernel."""
+        return np.asarray(self.rows[kernel].per_rank, dtype=float)
+
+    def imbalance(self, kernel: str) -> float:
+        return self.rows[kernel].imbalance
+
+    def rank_totals(self) -> np.ndarray:
+        """Total fused exclusive seconds per rank."""
+        totals = np.zeros(self.n_ranks)
+        for row in self.rows.values():
+            totals += np.asarray(row.per_rank, dtype=float)
+        return totals
+
+    def overall_imbalance(self) -> float:
+        return chemistry_imbalance(self.rank_totals())
+
+    def to_rank_profiles(self, node_type: str = "measured") -> list:
+        """Per-rank :class:`~repro.perfmodel.profiler.RankProfile`
+        objects, so fused live data slots into the Fig 2 class-mean
+        machinery unchanged."""
+        from repro.perfmodel.profiler import RankProfile
+
+        return [
+            RankProfile(
+                rank=r, node_type=node_type,
+                exclusive={k: float(row.per_rank[r])
+                           for k, row in self.rows.items()},
+            )
+            for r in range(self.n_ranks)
+        ]
+
+    # -- rendering -------------------------------------------------------
+    def table(self, title: str = "cross-rank fused profile") -> str:
+        """The Fig 2-style per-kernel table with imbalance columns."""
+        header = (
+            f"{'kernel':<28s} {'calls':>8s} {'min[ms]':>10s} {'med[ms]':>10s} "
+            f"{'max[ms]':>10s} {'mean[ms]':>10s} {'imb':>6s}"
+        )
+        rule = "-" * len(header)
+        lines = [f"{title} ({self.n_ranks} ranks)", rule, header, rule]
+        for name in self.kernels():
+            row = self.rows[name]
+            lines.append(
+                f"{name:<28s} {row.calls:>8d} {row.tmin * 1e3:>10.4f} "
+                f"{row.tmedian * 1e3:>10.4f} {row.tmax * 1e3:>10.4f} "
+                f"{row.tmean * 1e3:>10.4f} {row.imbalance:>6.3f}"
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def load_balance_report(self, kernels=None,
+                            title: str = "load-imbalance report") -> str:
+        """The Fig 3-style view: per-rank totals plus the imbalance
+        factor for the listed kernels (default: every kernel with a
+        factor above 1.01, heaviest first)."""
+        totals = self.rank_totals()
+        lines = [title, "-" * len(title)]
+        lines.append(
+            "rank totals [ms]: "
+            + " ".join(f"{t * 1e3:.3f}" for t in totals)
+        )
+        lines.append(
+            f"overall imbalance (max/mean): {self.overall_imbalance():.3f}"
+        )
+        names = list(kernels) if kernels is not None else [
+            k for k in self.kernels() if self.rows[k].imbalance > 1.01
+        ]
+        for name in names:
+            row = self.rows[name]
+            lines.append(
+                f"  {name:<26s} imbalance {row.imbalance:>6.3f}  "
+                f"(max {row.tmax * 1e3:.3f} ms over mean {row.tmean * 1e3:.3f} ms)"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Plain-data view (JSON-serializable), kernels sorted."""
+        return {
+            "n_ranks": self.n_ranks,
+            "kernels": {
+                name: {
+                    "calls": row.calls,
+                    "per_rank": [float(v) for v in row.per_rank],
+                    "imbalance": row.imbalance,
+                }
+                for name, row in sorted(self.rows.items())
+            },
+        }
+
+
+def _rank_exclusive(snapshot: dict, include_timers: bool) -> dict:
+    """kernel -> (exclusive seconds, calls) for one rank snapshot."""
+    out = {}
+    for name, row in snapshot.get("spans", {}).items():
+        out[name] = (float(row["exclusive"]), int(row["count"]))
+    if include_timers:
+        hists = snapshot.get("metrics", {}).get("histograms", {})
+        for name, h in hists.items():
+            if name.startswith("timer."):
+                out[name] = (float(h["sum"]), int(h["count"]))
+    return out
+
+
+def fuse_profiles(snapshots, include_timers: bool = True) -> FusedProfile:
+    """Merge per-rank snapshot dicts into a :class:`FusedProfile`.
+
+    Kernels absent on a rank contribute zero there (a rank that never
+    entered REACTION really did spend 0 s in it — that asymmetry *is*
+    the imbalance signal). With ``include_timers`` the forwarded legacy
+    ``timer.*`` histograms fuse alongside the spans.
+    """
+    per_rank = [_rank_exclusive(s, include_timers) for s in snapshots]
+    names = sorted(set().union(*[set(p) for p in per_rank]) if per_rank else ())
+    rows = {}
+    for name in names:
+        values = [p.get(name, (0.0, 0))[0] for p in per_rank]
+        calls = sum(p.get(name, (0.0, 0))[1] for p in per_rank)
+        rows[name] = FusedKernelRow(name=name, per_rank=values, calls=calls)
+    return FusedProfile(rows, n_ranks=len(snapshots))
+
+
+def fuse_solver_profiles(world, telemetries, root: int = 0,
+                         include_timers: bool = True) -> FusedProfile:
+    """Collect over SimMPI and fuse in one call (the job-end reduce)."""
+    snapshots = collect_snapshots(world, telemetries, root=root)
+    return fuse_profiles(snapshots, include_timers=include_timers)

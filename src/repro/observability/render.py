@@ -1,0 +1,329 @@
+"""The §9 in-situ view: ASCII dashboard, sparklines, HTML observatory.
+
+Terascale runs are watched, not attended: the paper's workflow renders
+monitoring data into views a human can scan between meetings (Figs
+16-18). :class:`RunMonitor` produces the live terminal version — a
+step table, sparkline histories, and watchdog status — on an interval,
+and :func:`html_report` emits a static, self-contained
+``observatory.html`` (inline CSS + SVG, no external assets) per run.
+
+Both renderers operate on the plain-dict step rows of the flight
+recorder's JSONL schema, so :func:`replay_report` can rebuild the
+exact same views offline from a crash dump.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+
+__all__ = [
+    "sparkline",
+    "render_dashboard",
+    "RunMonitor",
+    "html_report",
+    "write_html_report",
+    "replay_report",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Unicode sparkline of the last ``width`` values.
+
+    Non-finite entries render as ``·`` (a gap in the trace is itself a
+    signal); a constant series renders at mid-height.
+    """
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return "·" * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append("·")
+        elif span == 0.0:
+            out.append(_BLOCKS[len(_BLOCKS) // 2])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def _series(rows, key: str) -> list:
+    return [float(r.get(key, float("nan"))) for r in rows]
+
+
+def _extrema_series(rows, var: str, which: int = 1) -> list:
+    out = []
+    for r in rows:
+        ex = r.get("extrema", {}).get(var)
+        out.append(float(ex[which]) if ex else float("nan"))
+    return out
+
+
+def _row_status(row: dict) -> str:
+    from repro.observability.watchdogs import worst_severity
+
+    return worst_severity(row.get("watchdogs", {}).values()) if row.get(
+        "watchdogs") else "ok"
+
+
+def _fmt_range(values) -> str:
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "[no finite samples]"
+    return f"[{min(finite):.4g}, {max(finite):.4g}]"
+
+
+def render_dashboard(rows, recoveries=(), title: str =
+                     "simulation health observatory", table_rows: int = 8,
+                     spark_width: int = 32, variables=None) -> str:
+    """ASCII dashboard from flight-recorder step rows (dicts)."""
+    lines = []
+    if not rows:
+        return f"=== {title} ===\n(no steps recorded)"
+    last = rows[-1]
+    lines.append(
+        f"=== {title} ===  step {last['step']}  t={last['t']:.6e}s  "
+        f"dt={last['dt']:.3e}s"
+    )
+    dogs = last.get("watchdogs", {})
+    if dogs:
+        lines.append(
+            "watchdogs: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(dogs.items()))
+        )
+    # sparkline histories: dt, wall, then the requested (or leading)
+    # conserved-variable maxima
+    specs = [("dt", _series(rows, "dt")), ("wall[s]", _series(rows, "wall"))]
+    margin = _series(rows, "cfl_margin")
+    if any(math.isfinite(v) for v in margin):
+        specs.append(("cfl", margin))
+    all_vars = list(last.get("extrema", {}))
+    for var in (variables if variables is not None else all_vars[:3]):
+        specs.append((f"{var} max", _extrema_series(rows, var, 1)))
+    for label, values in specs:
+        lines.append(
+            f"{label:<12s} {sparkline(values, spark_width):<{spark_width}s} "
+            f"{_fmt_range(values)}"
+        )
+    # recent-step table
+    lines.append(f"{'step':>8s} {'t[s]':>12s} {'dt[s]':>11s} "
+                 f"{'wall[s]':>10s}  status")
+    for r in rows[-table_rows:]:
+        lines.append(
+            f"{r['step']:>8d} {r['t']:>12.5e} {r['dt']:>11.3e} "
+            f"{r.get('wall', 0.0):>10.4f}  {_row_status(r)}"
+        )
+    for rec in recoveries:
+        lines.append(
+            f"recovery: step {rec.get('at_step', '?')} -> restored "
+            f"{rec.get('restored_step', '?')} ({rec.get('error', '')})"
+        )
+    n_warn = sum(1 for r in rows if _row_status(r) == "warn")
+    n_trip = sum(1 for r in rows if _row_status(r) == "trip")
+    lines.append(
+        f"retained {len(rows)} steps  warns {n_warn}  trips {n_trip}  "
+        f"recoveries {len(list(recoveries))}"
+    )
+    return "\n".join(lines)
+
+
+class RunMonitor:
+    """Interval-driven live renderer over a flight recorder."""
+
+    def __init__(self, recorder, interval: int = 10, stream=None,
+                 table_rows: int = 8, spark_width: int = 32, variables=None):
+        if interval < 1:
+            raise ValueError("render interval must be >= 1")
+        self.recorder = recorder
+        self.interval = int(interval)
+        self.stream = stream
+        self.table_rows = int(table_rows)
+        self.spark_width = int(spark_width)
+        self.variables = variables
+        self.renders = 0
+        self.last_text = ""
+
+    def _rows(self) -> list:
+        return [r.as_dict() for r in self.recorder.records]
+
+    def render(self, events=None) -> str:
+        text = render_dashboard(
+            self._rows(), recoveries=self.recorder.recoveries,
+            table_rows=self.table_rows, spark_width=self.spark_width,
+            variables=self.variables,
+        )
+        self.renders += 1
+        self.last_text = text
+        if self.stream is not None:
+            self.stream.write(text + "\n")
+        return text
+
+    def maybe_render(self, step: int, events=None) -> str | None:
+        """Render when ``step`` hits the interval; None otherwise."""
+        if step % self.interval:
+            return None
+        return self.render(events=events)
+
+
+# ---------------------------------------------------------------------------
+# static HTML observatory
+# ---------------------------------------------------------------------------
+_CSS = """
+body { font-family: ui-monospace, monospace; background: #10141a;
+       color: #d8dee9; margin: 2em; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+th, td { padding: 2px 10px; text-align: right; border-bottom: 1px solid #2a3240; }
+th { color: #8fa1b3; } td.name, th.name { text-align: left; }
+.ok { color: #a3be8c; } .warn { color: #ebcb8b; } .trip { color: #bf616a; }
+.spark { margin: 4px 0; }
+pre { background: #161b22; padding: 10px; overflow-x: auto; }
+svg { background: #161b22; }
+.meta { color: #8fa1b3; }
+"""
+
+
+def _svg_spark(values, width: int = 360, height: int = 48) -> str:
+    """Inline SVG polyline sparkline (self-contained, no scripts)."""
+    finite = [(i, v) for i, v in enumerate(values) if math.isfinite(v)]
+    if not finite:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    lo = min(v for _, v in finite)
+    hi = max(v for _, v in finite)
+    span = (hi - lo) or 1.0
+    n = max(len(values) - 1, 1)
+    pts = " ".join(
+        f"{i / n * (width - 4) + 2:.1f},"
+        f"{height - 4 - (v - lo) / span * (height - 8):.1f}"
+        for i, v in finite
+    )
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{pts}" fill="none" stroke="#88c0d0" '
+        f'stroke-width="1.5"/></svg>'
+    )
+
+
+def html_report(rows, recoveries=(), summary=None, fused=None,
+                title: str = "simulation health observatory",
+                variables=None) -> str:
+    """Self-contained HTML observatory from flight-recorder rows."""
+    esc = _html.escape
+    parts = [
+        "<!doctype html>",
+        f"<html><head><meta charset='utf-8'><title>{esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    if not rows:
+        parts.append("<p class='meta'>no steps recorded</p>")
+    else:
+        last = rows[-1]
+        parts.append(
+            f"<p class='meta'>step {last['step']} &middot; "
+            f"t = {last['t']:.6e} s &middot; dt = {last['dt']:.3e} s &middot; "
+            f"{len(rows)} steps retained</p>"
+        )
+        dogs = last.get("watchdogs", {})
+        if dogs:
+            parts.append("<h2>watchdogs</h2><p>" + " &nbsp; ".join(
+                f"<span class='{esc(sev)}'>{esc(name)}: {esc(sev)}</span>"
+                for name, sev in sorted(dogs.items())
+            ) + "</p>")
+        parts.append("<h2>histories</h2>")
+        specs = [("dt [s]", _series(rows, "dt")),
+                 ("wall [s]", _series(rows, "wall"))]
+        margin = _series(rows, "cfl_margin")
+        if any(math.isfinite(v) for v in margin):
+            specs.append(("CFL margin", margin))
+        all_vars = list(last.get("extrema", {}))
+        for var in (variables if variables is not None else all_vars[:4]):
+            specs.append((f"{var} max", _extrema_series(rows, var, 1)))
+        for label, values in specs:
+            parts.append(
+                f"<div class='spark'>{_svg_spark(values)}<br>"
+                f"<span class='meta'>{esc(label)} {_fmt_range(values)}"
+                f"</span></div>"
+            )
+        parts.append("<h2>recent steps</h2><table>")
+        parts.append(
+            "<tr><th>step</th><th>t [s]</th><th>dt [s]</th>"
+            "<th>wall [s]</th><th class='name'>status</th></tr>"
+        )
+        for r in rows[-16:]:
+            status = _row_status(r)
+            parts.append(
+                f"<tr><td>{r['step']}</td><td>{r['t']:.5e}</td>"
+                f"<td>{r['dt']:.3e}</td><td>{r.get('wall', 0.0):.4f}</td>"
+                f"<td class='name {esc(status)}'>{esc(status)}</td></tr>"
+            )
+        parts.append("</table>")
+    recs = list(recoveries)
+    if recs:
+        parts.append("<h2>recoveries</h2><ul>")
+        for rec in recs:
+            parts.append(
+                f"<li>step {rec.get('at_step', '?')} &rarr; restored "
+                f"{rec.get('restored_step', '?')} "
+                f"({esc(str(rec.get('error', '')))})</li>"
+            )
+        parts.append("</ul>")
+    if summary:
+        parts.append(
+            "<h2>summary</h2><p class='meta'>"
+            + " &middot; ".join(f"{esc(str(k))}: {esc(str(v))}"
+                                for k, v in sorted(summary.items())
+                                if k != "kind")
+            + "</p>"
+        )
+    if fused is not None:
+        parts.append("<h2>cross-rank profile</h2><pre>"
+                     + esc(fused.table()) + "</pre>")
+        parts.append("<pre>" + esc(fused.load_balance_report()) + "</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(fs, path, recorder=None, rows=None, recoveries=None,
+                      summary=None, fused=None,
+                      title: str = "simulation health observatory") -> str:
+    """Render and write ``observatory.html`` through the file system."""
+    if rows is None:
+        if recorder is None:
+            raise ValueError("need a recorder or explicit rows")
+        rows = [r.as_dict() for r in recorder.records]
+        recoveries = recorder.recoveries if recoveries is None else recoveries
+        summary = recorder.summary("report") if summary is None else summary
+    text = html_report(rows, recoveries=recoveries or (), summary=summary,
+                       fused=fused, title=title)
+    fs.write_bytes(path, text.encode())
+    return path
+
+
+def replay_report(fs, jsonl_path: str, fused=None) -> dict:
+    """Rebuild the observatory views offline from a flight-record dump.
+
+    Returns ``{"parsed", "ascii", "html"}`` — the post-mortem a workflow
+    actor renders from the black box of a run that no longer exists.
+    """
+    from repro.observability.recorder import FlightRecorder
+
+    parsed = FlightRecorder.load(fs, jsonl_path)
+    ascii_view = render_dashboard(
+        parsed["steps"], recoveries=parsed["recoveries"],
+        title="flight-record replay",
+    )
+    html_view = html_report(
+        parsed["steps"], recoveries=parsed["recoveries"],
+        summary=parsed.get("summary"), fused=fused,
+        title="flight-record replay",
+    )
+    return {"parsed": parsed, "ascii": ascii_view, "html": html_view}

@@ -234,6 +234,35 @@ class SimMPI:
             return result
         return None
 
+    def gather_bytes(self, payloads, root: int = 0, tag: int = 0) -> list:
+        """Root-gather of per-rank byte payloads.
+
+        ``payloads`` holds one ``bytes``-like object per rank. Every
+        non-root rank ``Send``s its payload to ``root`` as a uint8
+        array; the root receives them in rank order. Returns the
+        per-rank payloads as ``bytes`` (the gather the cross-rank
+        profile fusion runs at job end). Traffic goes through the
+        normal send path, so message logging and armed ``mpi.send``
+        faults apply.
+        """
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"need one payload per rank ({self.size}), got {len(payloads)}"
+            )
+        for rank in range(self.size):
+            if rank == root:
+                continue
+            arr = np.frombuffer(bytes(payloads[rank]), dtype=np.uint8)
+            self.comm(rank).Send(arr, dest=root, tag=tag)
+        comm = self.comm(root)
+        out = []
+        for rank in range(self.size):
+            if rank == root:
+                out.append(bytes(payloads[rank]))
+            else:
+                out.append(comm.Recv(source=rank, tag=tag).tobytes())
+        return out
+
     def run_phases(self, *phases) -> list:
         """Run callables phase-by-phase across all ranks.
 

@@ -122,13 +122,29 @@ class ParallelPeriodicSolver:
     chemlb_threshold, chemlb_cost_model, chemlb_work_model:
         Forwarded to the balancer (imbalance trigger, per-cell cost
         model, optional stiffness work emulation).
+    rank_telemetry:
+        Give every rank its *own* recording
+        :class:`~repro.telemetry.Telemetry` backend for its RHS and
+        filter kernels (the shared ``telemetry`` keeps solver-level
+        spans like INTEGRATE and the halo traffic). Required for
+        :meth:`fused_profile` — cross-rank profile fusion needs
+        per-rank data, exactly like TAU's per-process profiles.
+    observability:
+        Health-observatory mode (see :mod:`repro.observability`);
+        ``None`` defers to ``REPRO_OBSERVABILITY``. The parallel
+        watchdog set runs on the gathered global state (NaN sentinel,
+        bounds, wall-time anomaly, plus conservation at ``"full"`` —
+        the grid is all-periodic by construction); the CFL-margin
+        watchdog is omitted because this solver is driven by an
+        explicit ``dt``.
     """
 
     def __init__(self, mechanism, grid, decomp, world, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
                  filter_interval=1, telemetry=None, rhs_engine=None,
                  chem_load_balance=None, chemlb_threshold=1.1,
-                 chemlb_cost_model=None, chemlb_work_model=None):
+                 chemlb_cost_model=None, chemlb_work_model=None,
+                 rank_telemetry=False, observability=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -156,11 +172,20 @@ class ParallelPeriodicSolver:
         # last_reaction_inputs, and _rhs_all adds balanced wdot to the
         # owned interior instead
         delegate = (lambda rhs, t, rho, T, Y: None) if self.chemlb else None
+        if rank_telemetry:
+            from repro.telemetry import Telemetry
+
+            self.rank_telemetries = [Telemetry() for _ in range(decomp.size)]
+        else:
+            self.rank_telemetries = None
         # per-rank extended grids / states / RHS evaluators
         self._rank_rhs = []
         self._rank_state = []
         self._filters = []
         for rank in range(decomp.size):
+            rank_tel = (self.rank_telemetries[rank]
+                        if self.rank_telemetries is not None
+                        else self.telemetry)
             ext_shape = self.halo.extended_shape(rank)
             lengths = tuple(
                 dx * (n - 1) for dx, n in zip(self.spacings, ext_shape)
@@ -170,20 +195,23 @@ class ParallelPeriodicSolver:
             self._rank_state.append(st)
             self._rank_rhs.append(
                 CompressibleRHS(st, transport=transport, boundaries={},
-                                reacting=reacting, telemetry=self.telemetry,
+                                reacting=reacting, telemetry=rank_tel,
                                 engine=rhs_engine,
                                 reaction_delegate=delegate)
             )
             self._filters.append(
                 [
                     FilterOperator(n, periodic=False, alpha=filter_alpha,
-                                   telemetry=self.telemetry)
+                                   telemetry=rank_tel)
                     for n in ext_shape
                 ]
             )
         self.locals: list = [None] * decomp.size
         self.time = 0.0
         self.step_count = 0
+        self._gstate = None  # lazy gathered-state view for health checks
+        self._gstate_step = -1
+        self.health = self._resolve_health(observability)
 
     # ------------------------------------------------------------------
     def set_state(self, global_u: np.ndarray) -> None:
@@ -248,3 +276,68 @@ class ParallelPeriodicSolver:
             self.locals[rank] = np.ascontiguousarray(
                 ext[self.halo.interior_slices(rank, leading_axes=1)]
             )
+
+    # -- observability ---------------------------------------------------
+    @property
+    def state(self) -> State:
+        """Gathered global :class:`~repro.core.state.State` view.
+
+        Re-gathered at most once per step (health checks share the same
+        view); the returned object is a snapshot for inspection, not a
+        handle into the per-rank blocks.
+        """
+        if self._gstate is None:
+            self._gstate = State(self.mech, self.grid)
+        if self._gstate_step != self.step_count:
+            self._gstate.u = self.gather_state()
+            self._gstate.mark_modified()
+            self._gstate_step = self.step_count
+        return self._gstate
+
+    def _resolve_health(self, mode):
+        from repro import observability as obs
+
+        mode = obs.resolve_mode(mode)
+        if mode == "off":
+            return obs.NULL_HEALTH
+        dogs = [obs.NaNSentinel(), obs.BoundsWatchdog(),
+                obs.WallTimeAnomalyWatchdog()]
+        if mode == "full":
+            dogs.append(obs.ConservationWatchdog())
+        return obs.HealthMonitor(
+            self, watchdogs=dogs, interval=1,
+            recorder=obs.FlightRecorder(capacity=256 if mode == "full" else 64),
+            record_telemetry_delta=(mode == "full" and self.telemetry.enabled),
+        )
+
+    def run(self, n_steps: int, dt: float) -> None:
+        """Advance ``n_steps`` fixed-dt steps with health monitoring.
+
+        With observability off this is exactly ``n_steps`` calls to
+        :meth:`step` (one attribute check per step of overhead).
+        """
+        health = self.health
+        for _ in range(n_steps):
+            if health.enabled:
+                t0 = health.clock()
+                self.step(dt)
+                health.on_step(dt, health.clock() - t0)
+            else:
+                self.step(dt)
+
+    def fused_profile(self, root: int = 0, include_timers: bool = True):
+        """Cross-rank fused profile of the per-rank kernel telemetry.
+
+        Ships every rank's snapshot to ``root`` over the simulated MPI
+        world and merges them (see :mod:`repro.observability.fusion`).
+        Requires ``rank_telemetry=True`` at construction.
+        """
+        if self.rank_telemetries is None:
+            raise ValueError(
+                "fused_profile needs per-rank telemetry; construct the "
+                "solver with rank_telemetry=True"
+            )
+        from repro.observability.fusion import fuse_solver_profiles
+
+        return fuse_solver_profiles(self.world, self.rank_telemetries,
+                                    root=root, include_timers=include_timers)

@@ -93,3 +93,30 @@ def predicted_chemistry_speedup(cell_costs_per_rank, policy: str = "greedy",
     if after.max() <= 0.0:
         return 1.0
     return float(before.max() / after.max())
+
+
+def measured_imbalance(profile, kernel: str = "REACTION_RATES") -> float:
+    """Imbalance factor from *measured* per-rank loads.
+
+    ``profile`` is anything exposing ``loads(kernel)`` — e.g. the fused
+    cross-rank profile of :mod:`repro.observability.fusion` — or a
+    plain per-rank load array. This closes the Fig 3 loop: the same
+    max/mean statistic the cost model predicts, evaluated on live
+    telemetry instead of modeled cell costs.
+    """
+    loads = profile.loads(kernel) if hasattr(profile, "loads") else profile
+    return chemistry_imbalance(loads)
+
+
+def measured_speedup(loads_before, loads_after) -> float:
+    """Measured max-rank time reduction factor between two runs (>= 0).
+
+    The observed counterpart of :func:`predicted_chemistry_speedup`:
+    feed it the per-rank chemistry loads fused from an unbalanced and a
+    balanced run of the same problem.
+    """
+    before = np.asarray(loads_before, dtype=float)
+    after = np.asarray(loads_after, dtype=float)
+    if after.max() <= 0.0:
+        return 1.0
+    return float(before.max() / after.max())

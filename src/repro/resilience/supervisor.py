@@ -28,12 +28,18 @@ from repro.resilience.errors import (
     TransientIOError,
 )
 from repro.resilience.faults import resolve_injector
+from repro.observability.monitor import NULL_HEALTH
+from repro.observability.watchdogs import WatchdogTripError
 from repro.telemetry import resolve as resolve_telemetry
 
 __all__ = ["RecoveryEvent", "RunReport", "run_resilient"]
 
-#: fault classes the supervisor answers with rollback-and-replay
-RECOVERABLE = (FaultInjectedError, TransientIOError, RestartCorruptionError)
+#: fault classes the supervisor answers with rollback-and-replay; a
+#: watchdog trip is recoverable too — the health observatory detects
+#: silent corruption (NaN, bounds, drift) that never raises on its own,
+#: and the supervisor converts the trip into rollback-and-replay
+RECOVERABLE = (FaultInjectedError, TransientIOError, RestartCorruptionError,
+               WatchdogTripError)
 
 
 @dataclass
@@ -93,9 +99,19 @@ def run_resilient(solver, fs, n_steps: int, *, checkpoint_interval: int = 5,
         surface, not spin).
     injector:
         Fault injector consulted at the ``solver.step`` site each step
-        (models a rank loss / node crash mid-integration). Defaults to
-        the injector attached to ``fs`` so one armed injector drives
+        (models a rank loss / node crash mid-integration) and at the
+        ``solver.state`` site after each step (models silent data
+        corruption: the conserved state is poisoned with NaN, which
+        only the health observatory's watchdogs can detect). Defaults
+        to the injector attached to ``fs`` so one armed injector drives
         both layers.
+
+    When the solver carries an enabled health monitor
+    (``config.observability``), its watchdogs run after every step
+    inside the supervised loop; a :class:`WatchdogTripError` rolls the
+    run back like any recoverable fault — after the monitor has dumped
+    its flight record — and the trip is logged in the black box via
+    ``health.on_recovery``. The monitor's dump sink defaults to ``fs``.
     """
     if checkpoint_interval < 1:
         raise ValueError("checkpoint_interval must be >= 1")
@@ -108,6 +124,9 @@ def run_resilient(solver, fs, n_steps: int, *, checkpoint_interval: int = 5,
     report = RunReport(ring=ring)
     c_recoveries = tel.counter("resilience.recoveries")
     c_replayed = tel.counter("resilience.replayed_steps")
+    health = getattr(solver, "health", NULL_HEALTH)
+    if health.enabled and health.fs is None:
+        health.attach_sink(fs)
 
     target = solver.step_count + int(n_steps)
     # a baseline checkpoint guarantees rollback is always possible,
@@ -124,7 +143,27 @@ def run_resilient(solver, fs, n_steps: int, *, checkpoint_interval: int = 5,
                         f"injected {spec.mode} fault at step "
                         f"{solver.step_count}"
                     )
-            solver.step()
+            if health.enabled:
+                t0 = health.clock()
+                dt = solver.step()
+                wall = health.clock() - t0
+            else:
+                dt = solver.step()
+                wall = 0.0
+            if inj.enabled:
+                spec = inj.decide("solver.state")
+                if spec is not None:
+                    # silent data corruption: poison the conserved state
+                    # with NaN and keep going — no exception is raised
+                    # here; only a watchdog can catch this
+                    import numpy as np
+
+                    solver.state.u.flat[0] = np.nan
+                    solver.state.mark_modified()
+                    report.faults_seen += 1
+            # watchdogs run before the checkpoint save, so a poisoned
+            # state trips (and rolls back) instead of being archived
+            health.on_step(dt, wall)
             if monitor_interval and solver.step_count % monitor_interval == 0:
                 solver.record_monitor()
             if (solver.step_count % checkpoint_interval == 0
@@ -154,6 +193,14 @@ def run_resilient(solver, fs, n_steps: int, *, checkpoint_interval: int = 5,
             ))
             c_recoveries.inc()
             c_replayed.inc(max(0, replay))
+            health.on_recovery({
+                "at_step": failed_at,
+                "restored_step": restored["step"],
+                "error": f"{type(err).__name__}: {err}",
+            })
 
     report.steps_completed = solver.step_count
+    if health.enabled and report.recoveries:
+        # refresh the black box so the dump includes the recovery trail
+        health._dump("run complete after recovery")
     return report

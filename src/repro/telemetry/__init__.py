@@ -78,6 +78,7 @@ class Telemetry:
     def __init__(self, clock=None):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=clock, metrics=self.metrics)
+        self._delta_base: dict | None = None
 
     # -- tracing ---------------------------------------------------------
     def span(self, name: str, **counters):
@@ -114,8 +115,34 @@ class Telemetry:
     def profile_report(self, title: str = "per-kernel exclusive time") -> str:
         return export.profile_report(self.tracer, title=title)
 
-    def snapshot(self) -> dict:
-        return export.snapshot(self)
+    def snapshot(self, delta: bool = False) -> dict:
+        """Plain-data view of tracer + metrics state.
+
+        With ``delta=True`` the view only contains what changed since
+        the previous ``snapshot(delta=True)`` call (the whole state on
+        the first call), which is what the flight recorder appends per
+        step instead of an ever-growing full dump.
+        """
+        if not delta:
+            return export.snapshot(self)
+        base = self._delta_base or {"spans": {}, "paths": {},
+                                    "metrics": {"counters": {}, "gauges": {},
+                                                "histograms": {}}}
+        out = self.tracer.snapshot_delta(base)
+        out["metrics"] = self.metrics.snapshot_delta(base["metrics"])
+        self._delta_base = export.snapshot(self)
+        return out
+
+    def merge(self, other) -> "Telemetry":
+        """Fold another backend's aggregates into this one (in place).
+
+        Associative with the fresh/null backend as identity; disabled
+        backends contribute nothing. Returns ``self``.
+        """
+        if getattr(other, "enabled", False):
+            self.tracer.merge(other.tracer)
+            self.metrics.merge(other.metrics)
+        return self
 
     def to_json(self, indent: int | None = None) -> str:
         return export.to_json(self, indent=indent)
@@ -123,6 +150,7 @@ class Telemetry:
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
+        self._delta_base = None
 
 
 class _NullSpan:
@@ -244,8 +272,11 @@ class NullTelemetry:
     def profile_report(self, title: str = "per-kernel exclusive time") -> str:
         return ""
 
-    def snapshot(self) -> dict:
+    def snapshot(self, delta: bool = False) -> dict:
         return {"spans": {}, "paths": {}, "metrics": self.metrics.snapshot()}
+
+    def merge(self, other) -> "NullTelemetry":
+        return self
 
     def to_json(self, indent: int | None = None) -> str:
         return export.to_json(self, indent=indent)

@@ -138,6 +138,47 @@ class Tracer:
 
         return {"spans": table(self.stats), "paths": table(self.path_stats)}
 
+    def merge(self, other: "Tracer") -> "Tracer":
+        """Fold ``other``'s aggregates into this tracer (in place).
+
+        Span counts and inclusive/exclusive times sum per name and per
+        path, so the merge is associative and commutative with the
+        empty tracer as identity. ``other`` must have no active spans.
+        Returns ``self`` for chaining.
+        """
+        if other._stack:
+            raise RuntimeError("cannot merge a tracer with active spans")
+        for mine, theirs in ((self.stats, other.stats),
+                             (self.path_stats, other.path_stats)):
+            for key, s in theirs.items():
+                m = mine.get(key)
+                if m is None:
+                    m = mine[key] = SpanStats(key)
+                m.count += s.count
+                m.inclusive += s.inclusive
+                m.exclusive += s.exclusive
+        return self
+
+    def snapshot_delta(self, baseline: dict) -> dict:
+        """Difference between the current :meth:`snapshot` and a prior
+        one; only spans whose counts advanced appear."""
+        cur = self.snapshot()
+        out = {}
+        for table in ("spans", "paths"):
+            base = baseline.get(table, {})
+            diff = {}
+            for k, row in cur[table].items():
+                prev = base.get(k, {"count": 0, "inclusive": 0.0, "exclusive": 0.0})
+                dcount = row["count"] - prev["count"]
+                if dcount:
+                    diff[k] = {
+                        "count": dcount,
+                        "inclusive": row["inclusive"] - prev["inclusive"],
+                        "exclusive": row["exclusive"] - prev["exclusive"],
+                    }
+            out[table] = diff
+        return out
+
     def reset(self) -> None:
         if self._stack:
             raise RuntimeError("cannot reset tracer with active spans")

@@ -16,12 +16,17 @@ class Timer:
         with t:
             compute()
         print(t.total, t.count)
+
+    ``sink``, when set, receives every measured interval (seconds) —
+    the hook the registry uses to forward legacy timers into the active
+    telemetry backend so they appear in fused profiles.
     """
 
     name: str
     total: float = 0.0
     count: int = 0
     _start: float | None = None
+    sink: object = None
 
     def start(self) -> None:
         if self._start is not None:
@@ -35,6 +40,8 @@ class Timer:
         self._start = None
         self.total += elapsed
         self.count += 1
+        if self.sink is not None:
+            self.sink(elapsed)
         return elapsed
 
     def cancel(self) -> None:
@@ -66,15 +73,38 @@ class Timer:
 
 @dataclass
 class TimerRegistry:
-    """A named collection of :class:`Timer` objects."""
+    """A named collection of :class:`Timer` objects.
+
+    When ``telemetry`` is a recording backend, every timer created by
+    the registry also observes its intervals into the telemetry
+    histogram ``timer.<name>`` — so legacy timer call sites show up in
+    fused cross-rank profiles instead of living in a second, disjoint
+    timing namespace. A null/absent backend leaves timers exactly as
+    before (no sink, no per-stop overhead).
+    """
 
     timers: dict = field(default_factory=dict)
+    telemetry: object = None
 
     def __call__(self, name: str) -> Timer:
         """Return (creating on first use) the timer called ``name``."""
         if name not in self.timers:
-            self.timers[name] = Timer(name)
+            timer = Timer(name)
+            tel = self.telemetry
+            if tel is not None and getattr(tel, "enabled", False):
+                timer.sink = tel.histogram(f"timer.{name}").observe
+            self.timers[name] = timer
         return self.timers[name]
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach (or detach, with None) a telemetry backend; existing
+        timers are re-sunk to the new backend."""
+        self.telemetry = telemetry
+        enabled = telemetry is not None and getattr(telemetry, "enabled", False)
+        for name, timer in self.timers.items():
+            timer.sink = (
+                telemetry.histogram(f"timer.{name}").observe if enabled else None
+            )
 
     def __iter__(self):
         """Timers in deterministic (creation) order."""

@@ -31,6 +31,8 @@ class Dashboard:
         #: image path -> list of annotations
         self.images: dict = {}
         self.annotations: dict = defaultdict(list)
+        #: job_id -> latest health summary (watchdog statuses etc.)
+        self.health: dict = {}
 
     # -- job monitoring (Fig 18) ------------------------------------------
     def submit_job(self, job_id: str, machine: str, user: str, name: str = "S3D") -> Job:
@@ -64,6 +66,43 @@ class Dashboard:
         steps = [r[0] for r in s]
         return steps, [r[1] for r in s], [r[2] for r in s]
 
+    # -- health observatory feed -------------------------------------------
+    def update_health(self, job_id: str, monitor) -> dict:
+        """Ingest a solver health monitor's current status for a job.
+
+        Accepts a :class:`~repro.observability.monitor.HealthMonitor`
+        (or anything with ``status()``/``checks``/``warns``/``trips``)
+        and keeps the latest summary for :meth:`render_text`. A run with
+        any tripped watchdog flips the job state to ``failed``.
+        """
+        summary = {
+            "watchdogs": dict(monitor.status()),
+            "checks": monitor.checks,
+            "warns": monitor.warns,
+            "trips": monitor.trips,
+        }
+        self.health[job_id] = summary
+        if monitor.trips and job_id in self.jobs:
+            self.set_job_state(job_id, "failed")
+        return summary
+
+    def ingest_flight_record(self, job_id: str, parsed: dict) -> None:
+        """Ingest a parsed flight-recorder dump: every retained step's
+        extrema feed the Fig 17 min/max traces, and the final step's
+        watchdog statuses become the job's health summary."""
+        steps = parsed.get("steps", [])
+        for rec in steps:
+            for var, (lo, hi) in rec.get("extrema", {}).items():
+                self.series[var].append((rec["step"], lo, hi))
+        summary = parsed.get("summary") or {}
+        last = steps[-1] if steps else {}
+        self.health[job_id] = {
+            "watchdogs": dict(last.get("watchdogs", {})),
+            "checks": summary.get("steps_seen", len(steps)),
+            "warns": summary.get("warns", 0),
+            "trips": summary.get("trips", 0),
+        }
+
     # -- images + annotations ----------------------------------------------
     def register_image(self, path: str, meta=None) -> None:
         self.images[path] = meta or {}
@@ -86,6 +125,16 @@ class Dashboard:
             for var in sorted(self.series):
                 step, lo, hi = self.series[var][-1]
                 lines.append(f"  {var:<12s} step {step:>8d}  min {lo:.6g}  max {hi:.6g}")
+        if self.health:
+            lines.append("[health]")
+            for job_id in sorted(self.health):
+                h = self.health[job_id]
+                dogs = " ".join(f"{k}={v}" for k, v in
+                                sorted(h["watchdogs"].items())) or "no checks"
+                lines.append(
+                    f"  {job_id:<12s} checks {h['checks']:>6d}  "
+                    f"warns {h['warns']}  trips {h['trips']}  {dogs}"
+                )
         if self.images:
             lines.append(f"[images] {len(self.images)} registered")
         return "\n".join(lines)

@@ -688,3 +688,171 @@ class TestProfilerIntegration:
         w = measured_kernel_weights(tel.tracer)
         assert w["A"] == pytest.approx(0.75)
         assert w["B"] == pytest.approx(0.25)
+
+
+class TestMergeAndDelta:
+    """Satellite semantics for cross-rank fusion: merge is associative
+    with the empty backend as identity; delta snapshots only carry what
+    changed."""
+
+    def _loaded(self, clock, spans=1, x=2.0, g=1.0, h=(0.1,)):
+        tel = Telemetry(clock=clock)
+        for _ in range(spans):
+            with tel.span("K"):
+                clock.tick(1.0)
+        tel.counter("x").inc(x)
+        tel.gauge("g").set(g)
+        for v in h:
+            tel.histogram("h").observe(v)
+        return tel
+
+    def test_merge_sums_counters_spans_histograms(self, clock):
+        a = self._loaded(clock, spans=2, x=2.0, h=(0.1,))
+        b = self._loaded(clock, spans=3, x=3.0, h=(0.2, 0.3))
+        a.merge(b)
+        s = a.snapshot()
+        assert s["metrics"]["counters"]["x"] == pytest.approx(5.0)
+        assert s["spans"]["K"]["count"] == 5
+        assert s["spans"]["K"]["exclusive"] == pytest.approx(5.0)
+        assert s["metrics"]["histograms"]["h"]["count"] == 3
+        assert s["metrics"]["histograms"]["h"]["sum"] == pytest.approx(0.6)
+
+    def test_merge_gauge_takes_max(self, clock):
+        a = self._loaded(clock, g=1.5)
+        b = self._loaded(clock, g=0.5)
+        a.merge(b)
+        assert a.snapshot()["metrics"]["gauges"]["g"] == pytest.approx(1.5)
+
+    def test_merge_empty_is_identity(self, clock):
+        a = self._loaded(clock, spans=2, x=4.0, g=2.0, h=(0.1, 0.2))
+        before = a.snapshot()
+        a.merge(Telemetry())          # fresh backend: nothing recorded
+        a.merge(NULL_TELEMETRY)       # disabled backend: contributes nothing
+        assert a.snapshot() == before
+
+    def test_merge_is_associative(self):
+        def make(i):
+            c = FakeClock()
+            tel = Telemetry(clock=c)
+            for _ in range(i + 1):
+                with tel.span("K"):
+                    c.tick(float(i + 1))
+            tel.counter("x").inc(i + 1)
+            tel.gauge("g").set(float(i))
+            tel.histogram("h").observe(0.1 * (i + 1))
+            return tel
+
+        # (a + b) + c
+        left = make(0).merge(make(1)).merge(make(2)).snapshot()
+        # a + (b + c)
+        right = make(0).merge(make(1).merge(make(2))).snapshot()
+        # identical up to float summation order in the accumulated sums
+        assert left["spans"]["K"]["count"] == right["spans"]["K"]["count"]
+        assert left["spans"]["K"]["exclusive"] == pytest.approx(
+            right["spans"]["K"]["exclusive"])
+        lm, rm = left["metrics"], right["metrics"]
+        assert lm["counters"] == rm["counters"]
+        assert lm["gauges"] == rm["gauges"]
+        assert lm["histograms"]["h"]["counts"] == rm["histograms"]["h"]["counts"]
+        assert lm["histograms"]["h"]["count"] == rm["histograms"]["h"]["count"]
+        assert lm["histograms"]["h"]["sum"] == pytest.approx(
+            rm["histograms"]["h"]["sum"])
+
+    def test_null_merge_returns_null(self):
+        out = NULL_TELEMETRY.merge(Telemetry())
+        assert out is NULL_TELEMETRY
+
+    def test_delta_snapshot_only_reports_changes(self, clock):
+        tel = self._loaded(clock, spans=1, x=2.0)
+        first = tel.snapshot(delta=True)
+        assert first["metrics"]["counters"]["x"] == pytest.approx(2.0)
+        # nothing happened: empty delta
+        quiet = tel.snapshot(delta=True)
+        assert quiet["metrics"]["counters"] == {}
+        assert quiet["spans"] == {}
+        tel.counter("x").inc(5.0)
+        with tel.span("K"):
+            clock.tick(2.0)
+        d = tel.snapshot(delta=True)
+        assert d["metrics"]["counters"] == {"x": pytest.approx(5.0)}
+        assert d["spans"]["K"]["count"] == 1
+        assert d["spans"]["K"]["exclusive"] == pytest.approx(2.0)
+
+    def test_delta_does_not_disturb_full_snapshot(self, clock):
+        tel = self._loaded(clock, x=2.0)
+        tel.snapshot(delta=True)
+        tel.counter("x").inc(1.0)
+        assert tel.snapshot()["metrics"]["counters"]["x"] == pytest.approx(3.0)
+
+    def test_null_snapshot_accepts_delta_kwarg(self):
+        out = NULL_TELEMETRY.snapshot(delta=True)
+        assert out["spans"] == {} and out["metrics"]["counters"] == {}
+
+    def test_reset_clears_delta_baseline(self, clock):
+        tel = self._loaded(clock, x=2.0)
+        tel.snapshot(delta=True)
+        tel.reset()
+        tel.counter("x").inc(7.0)
+        d = tel.snapshot(delta=True)
+        assert d["metrics"]["counters"]["x"] == pytest.approx(7.0)
+
+
+class TestTimerTelemetryBridge:
+    """Satellite: the legacy util.timers registry forwards elapsed times
+    into telemetry histograms, healing the two-namespace drift."""
+
+    def test_timer_observes_into_histogram(self):
+        from repro.util.timers import TimerRegistry
+
+        tel = Telemetry()
+        reg = TimerRegistry(telemetry=tel)
+        with reg("chemistry"):
+            pass
+        h = tel.snapshot()["metrics"]["histograms"]["timer.chemistry"]
+        assert h["count"] == 1
+        assert h["sum"] >= 0.0
+
+    def test_no_telemetry_no_histograms(self):
+        from repro.util.timers import TimerRegistry
+
+        reg = TimerRegistry()
+        with reg("chemistry"):
+            pass
+        assert reg.report()  # legacy path still works
+
+    def test_null_telemetry_is_inert(self):
+        from repro.util.timers import TimerRegistry
+
+        reg = TimerRegistry(telemetry=NULL_TELEMETRY)
+        with reg("chemistry"):
+            pass
+        assert "chemistry" in reg.timers
+
+    def test_bind_telemetry_rebinds_existing_timers(self):
+        from repro.util.timers import TimerRegistry
+
+        reg = TimerRegistry()
+        with reg("integrate"):
+            pass
+        tel = Telemetry()
+        reg.bind_telemetry(tel)
+        with reg("integrate"):
+            pass
+        h = tel.snapshot()["metrics"]["histograms"]["timer.integrate"]
+        assert h["count"] == 1  # only the post-bind stop is forwarded
+
+    def test_solver_timers_forward_when_telemetry_on(self, h2_mech,
+                                                     h2_air_stoich):
+        from repro.core import Grid, S3DSolver, SolverConfig, ic
+        from repro.core.config import periodic_boundaries
+        from repro.util.constants import P_ATM
+
+        grid = Grid((16,), (1.0,), periodic=(True,))
+        state = ic.pressure_pulse(h2_mech, grid, p0=P_ATM, T0=300.0,
+                                  Y=h2_air_stoich, amplitude=1e-3, width=0.05)
+        cfg = SolverConfig(boundaries=periodic_boundaries(1), dt=5e-8,
+                           telemetry=True)
+        s = S3DSolver(state, cfg, transport=None, reacting=False)
+        s.step()
+        hists = s.telemetry.snapshot()["metrics"]["histograms"]
+        assert hists["timer.integrate"]["count"] == 1
