@@ -1,0 +1,293 @@
+"""Transport-backend weak-scaling benchmark + regression harness.
+
+Times the reacting-H2 :class:`~repro.parallel.solver.ParallelPeriodicSolver`
+at 1/2/4 ranks with a fixed per-rank block (weak scaling) on the
+in-process reference transport and the multiprocessing backend, and
+reports per-step wall time plus the multiprocessing-over-in-process
+speedup. The in-process backend executes ranks sequentially in the
+driver, so on a machine with >= 4 cores the 4-rank multiprocessing run
+should approach real parallel speedup; the analytic prediction from
+:func:`repro.perfmodel.predicted_transport_speedup` is printed next to
+every measurement.
+
+Results land in ``BENCH_transport.json``. A committed baseline of the
+same file gates CI via ``--check-regression`` — but the gate is
+**core-count aware**, because the speedup criterion is physically
+unmeasurable on fewer cores than ranks:
+
+* with >= 4 usable cores, the 4-rank multiprocessing speedup must beat
+  the hard ``1.3x`` acceptance floor, and no rank count may regress
+  more than 25 % below the baseline measured on a comparable machine;
+* with fewer cores (e.g. a 1-core CI container), real parallelism
+  cannot exist, so the gate instead enforces an *overhead ceiling*:
+  multiprocessing may cost at most ``8x`` the in-process per-step time
+  (IPC + SharedMemory round trips on top of the same serialized
+  compute). The JSON records ``cpu_count`` so a reader always knows
+  which regime a measurement came from.
+
+Usage::
+
+    python benchmarks/bench_transport.py                   # measure, write JSON
+    python benchmarks/bench_transport.py --quick           # fewer steps
+    python benchmarks/bench_transport.py --check-regression [--baseline PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chemistry import h2_li2004  # noqa: E402
+from repro.core.grid import Grid  # noqa: E402
+from repro.core.state import State  # noqa: E402
+from repro.parallel.comm import transport_unavailable_reason  # noqa: E402
+from repro.parallel.decomp import CartesianDecomposition  # noqa: E402
+from repro.parallel.solver import ParallelPeriodicSolver  # noqa: E402
+from repro.perfmodel import transport_comparison_table  # noqa: E402
+from repro.transport import MixtureAveragedTransport  # noqa: E402
+
+#: default location of the committed baseline / output
+DEFAULT_JSON = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_transport.json")
+
+#: per-rank interior block (weak scaling: the grid grows with ranks)
+BLOCK = 24
+
+#: rank count -> 2-D decomposition layout
+LAYOUTS = {1: (1, 1), 2: (2, 1), 4: (2, 2)}
+
+#: hard acceptance floor for the 4-rank speedup (only with >= 4 cores)
+SPEEDUP_FLOOR = 1.3
+
+#: relative slack vs the baseline speedup before CI fails (>= 4 cores)
+REGRESSION_TOLERANCE = 0.25
+
+#: max multiprocessing-over-in-process slowdown on core-starved hosts
+OVERHEAD_CEILING = 8.0
+
+DT = 2.0e-8
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_solver(n_ranks: int, comm_transport: str) -> ParallelPeriodicSolver:
+    """Weak-scaled reacting H2 box: BLOCK^2 interior per rank.
+
+    A fuel stripe (65/35 H2/N2 at 400 K) in hot coflow air with tanh
+    shear layers — the lifted-jet-flavoured composition that the golden
+    scenario uses, scaled up with the rank count so every rank owns an
+    identical BLOCK^2 interior (true weak scaling).
+    """
+    from repro.scenarios import fuel_and_coflow
+    from repro.util.constants import P_ATM
+
+    px, py = LAYOUTS[n_ranks]
+    shape = (BLOCK * px, BLOCK * py)
+    mech = h2_li2004()
+    ly = 2.0e-3 * py
+    grid = Grid(shape, (2.0e-3 * px, ly), periodic=(True, True))
+    y_fuel, y_air = fuel_and_coflow(mech)
+    xx, yy = grid.meshgrid()
+    stripe = 0.5 * (np.tanh((yy - 0.3 * ly) / 1.5e-4)
+                    - np.tanh((yy - 0.7 * ly) / 1.5e-4))
+    Y = (y_fuel[:, None, None] * stripe[None]
+         + y_air[:, None, None] * (1.0 - stripe[None]))
+    T = 400.0 * stripe + 1300.0 * (1.0 - stripe)
+    u_jet = 60.0 * stripe + 4.0 * (1.0 - stripe)
+    rho = mech.density(P_ATM, T, Y)
+    state = State.from_primitive(mech, grid, rho, [u_jet, 0.0], T, Y)
+    decomp = CartesianDecomposition(shape, (px, py), periodic=(True, True))
+    solver = ParallelPeriodicSolver(
+        mech, grid, decomp, transport=MixtureAveragedTransport(mech),
+        reacting=True, scheme="ck45", comm_transport=comm_transport,
+    )
+    solver.set_state(state.u)
+    return solver
+
+
+def _time_backend(n_ranks: int, comm_transport: str, steps: int) -> float:
+    """Best per-step wall time over ``steps`` timed steps (1 warmup)."""
+    solver = _make_solver(n_ranks, comm_transport)
+    try:
+        solver.step(DT)  # warm: workers, caches, Newton guesses
+        best = np.inf
+        for _ in range(steps):
+            t0 = time.perf_counter()
+            solver.step(DT)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        solver.close()
+    return best
+
+
+def run_benchmarks(steps: int) -> dict:
+    mp_reason = transport_unavailable_reason("multiprocessing")
+    results = {}
+    for n_ranks in sorted(LAYOUTS):
+        px, py = LAYOUTS[n_ranks]
+        t_in = _time_backend(n_ranks, "inprocess", steps)
+        case = {
+            "ranks": n_ranks,
+            "layout": [px, py],
+            "grid": [BLOCK * px, BLOCK * py],
+            "inprocess_s_per_step": t_in,
+        }
+        if mp_reason is None:
+            t_mp = _time_backend(n_ranks, "multiprocessing", steps)
+            case["multiprocessing_s_per_step"] = t_mp
+            case["speedup"] = t_in / t_mp
+            print(f"ranks {n_ranks}  grid {case['grid']}  "
+                  f"inprocess {1e3*t_in:8.1f} ms/step  "
+                  f"multiprocessing {1e3*t_mp:8.1f} ms/step  "
+                  f"speedup {t_in/t_mp:5.2f}x")
+        else:
+            print(f"ranks {n_ranks}  grid {case['grid']}  "
+                  f"inprocess {1e3*t_in:8.1f} ms/step  "
+                  f"(multiprocessing unavailable: {mp_reason})")
+        results[f"ranks_{n_ranks}"] = case
+    return results
+
+
+def measured_speedups(cases: dict) -> dict:
+    return {c["ranks"]: c["speedup"]
+            for c in cases.values() if "speedup" in c}
+
+
+def check_regression(current: dict, baseline_path: str, cores: int) -> list:
+    """Core-count-aware gate; returns a list of failure messages."""
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    base_cases = baseline.get("cases", {})
+    base_cores = baseline.get("meta", {}).get("cpu_count", 1)
+    failures = []
+
+    if cores >= 4:
+        head = current.get("ranks_4", {})
+        sp = head.get("speedup")
+        if sp is None:
+            failures.append("ranks_4: multiprocessing not measured")
+        elif sp < SPEEDUP_FLOOR:
+            failures.append(
+                f"ranks_4: multiprocessing speedup {sp:.2f}x is under the "
+                f"hard {SPEEDUP_FLOOR:.1f}x acceptance floor ({cores} cores)"
+            )
+        else:
+            print(f"  ranks_4: speedup {sp:.2f}x >= {SPEEDUP_FLOOR:.1f}x "
+                  f"floor ok ({cores} cores)")
+        # ratio regression vs baseline only when the baseline itself was
+        # measured with enough cores to mean anything
+        if base_cores >= 4:
+            for name, cur in current.items():
+                base = base_cases.get(name)
+                if base is None or "speedup" not in base or "speedup" not in cur:
+                    continue
+                floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+                status = "ok" if cur["speedup"] >= floor else "REGRESSED"
+                print(f"  {name}: speedup {cur['speedup']:.2f}x vs baseline "
+                      f"{base['speedup']:.2f}x (floor {floor:.2f}x) {status}")
+                if cur["speedup"] < floor:
+                    failures.append(
+                        f"{name}: speedup {cur['speedup']:.2f}x fell below "
+                        f"{floor:.2f}x (baseline {base['speedup']:.2f}x)"
+                    )
+        else:
+            print(f"  baseline was measured on {base_cores} core(s); "
+                  "skipping ratio comparison")
+    else:
+        print(f"  only {cores} usable core(s): the {SPEEDUP_FLOOR:.1f}x "
+              "parallel-speedup floor is unmeasurable here; enforcing the "
+              f"{OVERHEAD_CEILING:.0f}x multiprocessing overhead ceiling "
+              "instead")
+        for name, cur in current.items():
+            sp = cur.get("speedup")
+            if sp is None:
+                continue
+            slowdown = 1.0 / sp
+            status = "ok" if slowdown <= OVERHEAD_CEILING else "EXCEEDED"
+            print(f"  {name}: multiprocessing costs {slowdown:.2f}x "
+                  f"in-process (ceiling {OVERHEAD_CEILING:.0f}x) {status}")
+            if slowdown > OVERHEAD_CEILING:
+                failures.append(
+                    f"{name}: multiprocessing is {slowdown:.2f}x slower than "
+                    f"in-process (ceiling {OVERHEAD_CEILING:.0f}x) — IPC "
+                    "overhead regressed"
+                )
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer timed steps (CI-friendly)")
+    ap.add_argument("--steps", type=int, default=None,
+                    help="timed steps per backend/case (default 5, quick 2)")
+    ap.add_argument("--out", default=DEFAULT_JSON,
+                    help="where to write the results JSON")
+    ap.add_argument("--baseline", default=DEFAULT_JSON,
+                    help="baseline JSON for --check-regression")
+    ap.add_argument("--check-regression", action="store_true",
+                    help="fail (exit 1) on a core-count-aware gate breach")
+    args = ap.parse_args(argv)
+
+    steps = args.steps or (2 if args.quick else 5)
+    cores = usable_cores()
+    print(f"usable cores: {cores}")
+    cases = run_benchmarks(steps)
+
+    measured = measured_speedups(cases)
+    if measured:
+        print()
+        print(transport_comparison_table(measured, cpu_count=cores))
+
+    payload = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "steps": steps,
+            "block": BLOCK,
+            "dt": DT,
+            "cpu_count": cores,
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+        },
+        "cases": cases,
+    }
+    if args.check_regression:
+        # never clobber the baseline with the measurement being judged
+        out = args.out
+        if os.path.abspath(out) == os.path.abspath(args.baseline):
+            out = os.path.join(os.path.dirname(__file__), "results",
+                               "BENCH_transport_current.json")
+            os.makedirs(os.path.dirname(out), exist_ok=True)
+    else:
+        out = args.out
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out}")
+
+    if args.check_regression:
+        print("regression check:")
+        failures = check_regression(cases, args.baseline, cores)
+        if failures:
+            for msg in failures:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        print("regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,10 +112,88 @@ def bunsen_box_summary(steps: int = BUNSEN_STEPS, dt: float = BUNSEN_DT) -> dict
     return out
 
 
+#: lifted-jet-parallel golden: steps/grid sized so 2x2 ranks exercise
+#: halo exchange, filtering, and chemistry load balancing in seconds
+LIFTED_JET_PARALLEL_STEPS = 3
+LIFTED_JET_PARALLEL_DT = 2.0e-8
+
+
+def lifted_jet_parallel_solver(comm_transport: str = "inprocess"):
+    """Periodic lifted-jet-flavoured configuration on the rank-parallel
+    solver — the cross-transport golden scenario.
+
+    The §6.2 jet is a non-periodic slot flow, but
+    :class:`~repro.parallel.solver.ParallelPeriodicSolver` requires an
+    all-periodic box, so this scenario keeps the jet's *composition and
+    shear structure* — a fuel stripe (65/35 H2/N2 at 400 K) in hot
+    coflow air with a tanh shear layer and an igniting hot spot — on a
+    doubly periodic 24x24 box split 2x2. The hot spot concentrates
+    reaction work in one quadrant, so ``chem_load_balance="greedy"``
+    genuinely ships cells. ``comm_transport`` picks the communication
+    backend; the solver owns the created world (close it via
+    ``solver.close()``).
+    """
+    from repro.core.state import State
+    from repro.parallel.decomp import CartesianDecomposition
+    from repro.parallel.solver import ParallelPeriodicSolver
+    from repro.scenarios import H2_LEWIS, fuel_and_coflow
+    from repro.transport import ConstantLewisTransport
+    from repro.util.constants import P_ATM
+
+    from repro.chemistry import h2_li2004
+
+    mech = h2_li2004()
+    y_fuel, y_air = fuel_and_coflow(mech)
+    from repro.core.grid import Grid
+
+    n = 24
+    grid = Grid((n, n), (2.0e-3, 2.0e-3), periodic=(True, True))
+    xx, yy = grid.meshgrid()
+    # fuel stripe with tanh shear layers, periodic in both directions
+    stripe = 0.5 * (np.tanh((yy - 0.6e-3) / 1.5e-4)
+                    - np.tanh((yy - 1.4e-3) / 1.5e-4))
+    Y = (y_fuel[:, None, None] * stripe[None]
+         + y_air[:, None, None] * (1.0 - stripe[None]))
+    # igniting hot spot inside the shear layer (off-centre: imbalance)
+    spot = np.exp(-((xx - 0.5e-3) ** 2 + (yy - 0.6e-3) ** 2)
+                  / (2 * (2.0e-4) ** 2))
+    T = 400.0 * stripe + 1300.0 * (1.0 - stripe) + 500.0 * spot
+    u_jet = 60.0 * stripe + 4.0 * (1.0 - stripe)
+    rho = mech.density(P_ATM, T, Y)
+    state = State.from_primitive(mech, grid, rho, [u_jet, 0.0], T, Y)
+    transport = ConstantLewisTransport(mech, lewis=H2_LEWIS, mu_ref=1.8e-5,
+                                       t_ref=300.0, exponent=0.7)
+    decomp = CartesianDecomposition((n, n), (2, 2), periodic=(True, True))
+    solver = ParallelPeriodicSolver(
+        mech, grid, decomp, transport=transport, reacting=True,
+        scheme="ck45", filter_alpha=0.25, chem_load_balance="greedy",
+        comm_transport=comm_transport,
+    )
+    solver.set_state(state.u)
+    return solver
+
+
+def lifted_jet_parallel_summary(steps: int = LIFTED_JET_PARALLEL_STEPS,
+                                dt: float = LIFTED_JET_PARALLEL_DT,
+                                comm_transport: str = "inprocess") -> dict:
+    """Golden summary for the rank-parallel lifted-jet scenario."""
+    solver = lifted_jet_parallel_solver(comm_transport)
+    try:
+        for _ in range(steps):
+            solver.step(dt)
+        out = summarize_solver(solver, species=("H2", "O2", "OH", "HO2"))
+    finally:
+        solver.close()
+    out["scenario"] = "lifted_jet_parallel"
+    out["version"] = GOLDEN_VERSION
+    return out
+
+
 #: name -> builder for every golden scenario
 GOLDEN_SCENARIOS = {
     "lifted_jet": lifted_jet_summary,
     "bunsen_box": bunsen_box_summary,
+    "lifted_jet_parallel": lifted_jet_parallel_summary,
 }
 
 

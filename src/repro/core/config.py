@@ -116,6 +116,16 @@ class SolverConfig:
         single-rank serial solver has nothing to balance and ignores it.
         Every policy is bitwise identical to ``"off"`` on conserved
         state.
+    transport:
+        Communication backend for rank-parallel runs: ``"inprocess"``
+        (deterministic single-process reference, the default),
+        ``"multiprocessing"`` (one worker process per rank), or
+        ``"mpi4py"`` (real MPI, when importable); ``None`` defers to
+        the ``REPRO_TRANSPORT`` environment switch (see
+        :data:`repro.parallel.comm.TRANSPORTS`). Consumed by
+        :class:`~repro.parallel.solver.ParallelPeriodicSolver`; the
+        serial solver has no ranks to place and ignores it. Distinct
+        from the *molecular* transport model passed to the RHS.
     """
 
     boundaries: dict = field(default_factory=dict)
@@ -128,6 +138,7 @@ class SolverConfig:
     telemetry: bool | None = None
     observability: object = None
     chem_load_balance: str | None = None
+    transport: str | None = None
 
     def validate(self, grid) -> None:
         """Cross-check the boundary map against the grid."""
@@ -164,6 +175,10 @@ class SolverConfig:
                     f"unknown chem_load_balance {self.chem_load_balance!r}; "
                     f"choose from {POLICIES}"
                 )
+        if self.transport is not None:
+            from repro.parallel.comm import resolve_transport_name
+
+            resolve_transport_name(self.transport)  # raises on unknown name
 
 
 def resolve_face_value(value, t: float):

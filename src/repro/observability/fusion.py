@@ -28,6 +28,7 @@ __all__ = [
     "FUSION_TAG",
     "FusedKernelRow",
     "FusedProfile",
+    "collect_snapshot_dicts",
     "collect_snapshots",
     "fuse_profiles",
     "fuse_solver_profiles",
@@ -37,34 +38,58 @@ __all__ = [
 FUSION_TAG = 9102
 
 
-def collect_snapshots(world, telemetries, root: int = 0) -> list:
-    """Gather every rank's telemetry snapshot at ``root`` over SimMPI.
+def collect_snapshot_dicts(world, snapshots, root: int = 0,
+                           telemetry=None) -> list:
+    """Gather per-rank snapshot *dicts* at ``root`` over the transport.
 
-    ``telemetries`` holds one backend per rank. Non-root ranks encode
-    their snapshot as JSON bytes and ``Send`` to the root, which
-    receives them in rank order — the reduction pattern a real TAU
-    profile merge runs at job end. Returns the per-rank snapshot dicts
-    (indexed by rank). Message traffic lands in the world's message
-    log and in the root's ``fusion.*`` counters.
+    The transport-agnostic core of profile fusion: callers that cannot
+    reach live telemetry backends (rank programs in worker processes)
+    obtain plain snapshot dicts through the execution plane and ship
+    them here. Non-root ranks encode their snapshot as JSON bytes and
+    ``Send`` to the root, which receives them in rank order — the
+    reduction pattern a real TAU profile merge runs at job end.
+    Returns the per-rank snapshot dicts (indexed by rank). Message
+    traffic lands in the world's message log and, when a recording
+    ``telemetry`` is given, in its ``fusion.*`` counters under a
+    ``PROFILE_FUSION`` span.
     """
-    if len(telemetries) != world.size:
+    if len(snapshots) != world.size:
         raise ValueError(
-            f"need one telemetry per rank ({world.size}), got {len(telemetries)}"
+            f"need one snapshot per rank ({world.size}), got {len(snapshots)}"
         )
+    from repro.telemetry import resolve as resolve_telemetry
+
+    tel = telemetry if telemetry is not None else resolve_telemetry(None)
     payloads = [
-        json.dumps(telemetries[rank].snapshot(), sort_keys=True).encode()
+        json.dumps(snapshots[rank], sort_keys=True).encode()
         for rank in range(world.size)
     ]
-    tel = telemetries[root]
-    snapshots = []
+    out = []
     with tel.span("PROFILE_FUSION"):
         raw = world.gather_bytes(payloads, root=root, tag=FUSION_TAG)
         for rank, payload in enumerate(raw):
             if rank != root:
                 tel.counter("fusion.bytes").inc(len(payload))
                 tel.counter("fusion.messages").inc()
-            snapshots.append(json.loads(payload.decode()))
-    return snapshots
+            out.append(json.loads(payload.decode()))
+    return out
+
+
+def collect_snapshots(world, telemetries, root: int = 0) -> list:
+    """Gather every rank's telemetry snapshot at ``root`` over SimMPI.
+
+    ``telemetries`` holds one live backend per rank (the in-process
+    view); accounting goes to the root rank's backend. See
+    :func:`collect_snapshot_dicts` for the transport-agnostic core.
+    """
+    if len(telemetries) != world.size:
+        raise ValueError(
+            f"need one telemetry per rank ({world.size}), got {len(telemetries)}"
+        )
+    return collect_snapshot_dicts(
+        world, [t.snapshot() for t in telemetries], root=root,
+        telemetry=telemetries[root],
+    )
 
 
 @dataclass

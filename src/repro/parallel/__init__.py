@@ -12,6 +12,13 @@ are bitwise-reproducible against the serial solver, and a chemistry
 dynamic load balancer (:mod:`repro.parallel.chemlb`) that ships
 reaction-zone cell batches from over-threshold ranks to underloaded
 ones without changing a single bit of the answer.
+
+The communication backend is pluggable (:mod:`repro.parallel.comm`):
+the in-process simulated MPI is the default bit-exact reference, a
+shared-memory multiprocessing backend runs ranks on separate cores,
+and an mpi4py backend activates when real MPI is importable — all
+behind one :class:`~repro.parallel.comm.Transport` contract, selected
+via ``REPRO_TRANSPORT`` / ``SolverConfig.transport``.
 """
 
 from repro.parallel.chemlb import (
@@ -20,7 +27,19 @@ from repro.parallel.chemlb import (
     POLICIES as CHEMLB_POLICIES,
     plan_assignment,
 )
-from repro.parallel.comm import SimMPI, SimComm, MessageLog
+from repro.parallel.comm import (
+    TRANSPORTS,
+    InProcessTransport,
+    MessageLog,
+    SimComm,
+    SimMPI,
+    Transport,
+    TransportUnavailableError,
+    available_transports,
+    create_transport,
+    resolve_transport_name,
+    transport_unavailable_reason,
+)
 from repro.parallel.decomp import CartesianDecomposition, block_range
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.solver import ParallelField, parallel_derivative
@@ -29,6 +48,14 @@ __all__ = [
     "SimMPI",
     "SimComm",
     "MessageLog",
+    "Transport",
+    "InProcessTransport",
+    "TransportUnavailableError",
+    "TRANSPORTS",
+    "available_transports",
+    "create_transport",
+    "resolve_transport_name",
+    "transport_unavailable_reason",
     "CartesianDecomposition",
     "block_range",
     "HaloExchanger",

@@ -1,19 +1,44 @@
-"""In-process simulated MPI.
+"""Pluggable MPI transport layer.
 
-``SimMPI(size)`` owns a set of ranks executed cooperatively in a single
-process. Communication follows mpi4py's buffer-style semantics: sends
-deposit numpy arrays into per-destination mailboxes; receives pop them
-in order, matched by (source, tag). Because ranks are driven in lockstep
-phases (post sends, then receive), the nearest-neighbour exchange
-patterns of S3D map 1:1.
+The communication backend of the parallel substrate is a swappable
+layer beneath a fixed message-pattern contract, the structure real DNS
+codes of this family use (Pencil Code, nekCRF): one halo/collective
+protocol, several executions. :class:`Transport` defines the contract —
+buffer-style point-to-point Send/Recv/Isend/probe matched by
+(source, tag), deferred allreduce collectives, a root ``gather_bytes``,
+rank-failure signaling, fault-injection hooks, and an *execution plane*
+(:meth:`Transport.start_programs` / :meth:`Transport.call_all`) that
+runs per-rank stateful programs wherever the backend executes ranks.
+
+Backends
+--------
+* :class:`InProcessTransport` (name ``"inprocess"``, the default) — the
+  deterministic single-process reference. All ranks execute
+  cooperatively in the driver process; results are bit-exact and every
+  fault schedule replays deterministically. ``SimMPI`` is a
+  backward-compatible alias.
+* :class:`~repro.parallel.shm.MultiprocessingTransport`
+  (``"multiprocessing"``) — persistent spawn-safe worker processes, one
+  per rank; program payloads move through ``SharedMemory`` buffers and
+  a pickled pipe control plane, so rank programs actually run on
+  separate cores.
+* :class:`~repro.parallel.mpi.MPI4PyTransport` (``"mpi4py"``) — real
+  MPI via mpi4py, activated only when the package is importable and the
+  job is launched SPMD (``mpirun -n <size>``).
+
+Selection: an explicit name wins, otherwise the ``REPRO_TRANSPORT``
+environment variable, otherwise ``"inprocess"``
+(:func:`resolve_transport_name` / :func:`create_transport`).
 
 Every transfer is recorded in a :class:`MessageLog` (source, dest, tag,
 bytes) — the observable the §4 performance model and the §5 I/O layer
-consume.
+consume. The conformance suite (``tests/test_transport_conformance.py``)
+is the contract any new backend must pass.
 """
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
@@ -21,6 +46,34 @@ import numpy as np
 
 from repro.resilience.errors import MessageNotFoundError, RankFailedError
 from repro.resilience.faults import resolve_injector
+
+__all__ = [
+    "ENV_VAR",
+    "TRANSPORTS",
+    "MessageRecord",
+    "MessageLog",
+    "RankComm",
+    "SimComm",
+    "Transport",
+    "InProcessTransport",
+    "SimMPI",
+    "TransportUnavailableError",
+    "available_transports",
+    "create_transport",
+    "resolve_transport_name",
+    "transport_unavailable_reason",
+]
+
+#: environment switch consulted when no explicit transport is given
+ENV_VAR = "REPRO_TRANSPORT"
+
+#: registered transport backend names
+TRANSPORTS = ("inprocess", "multiprocessing", "mpi4py")
+
+
+class TransportUnavailableError(RuntimeError):
+    """A transport backend cannot run in this environment (e.g. mpi4py
+    is not importable, or the job was not launched under ``mpirun``)."""
 
 
 @dataclass
@@ -33,7 +86,7 @@ class MessageRecord:
 
 @dataclass
 class MessageLog:
-    """Accounting of all messages through a :class:`SimMPI` world."""
+    """Accounting of all messages through a :class:`Transport` world."""
 
     records: list = field(default_factory=list)
 
@@ -58,14 +111,18 @@ class MessageLog:
     def message_sizes(self) -> list:
         return [r.nbytes for r in self.records]
 
+    def as_tuples(self) -> list:
+        """Plain ``(source, dest, tag, nbytes)`` tuples (comparison-friendly)."""
+        return [(r.source, r.dest, r.tag, r.nbytes) for r in self.records]
+
     def clear(self) -> None:
         self.records.clear()
 
 
-class SimComm:
-    """Communicator handle for one rank of a :class:`SimMPI` world."""
+class RankComm:
+    """Communicator handle for one rank of a :class:`Transport` world."""
 
-    def __init__(self, world: "SimMPI", rank: int):
+    def __init__(self, world: "Transport", rank: int):
         self.world = world
         self.rank = rank
 
@@ -89,7 +146,7 @@ class SimComm:
         return self.world._recv(self.rank, source, tag)
 
     def Isend(self, array, dest: int, tag: int = 0) -> None:
-        """Non-blocking send — same as Send under cooperative execution."""
+        """Non-blocking send — same as Send under bulk-synchronous phases."""
         self.Send(array, dest, tag)
 
     def probe(self, source: int, tag: int = 0) -> bool:
@@ -98,19 +155,170 @@ class SimComm:
 
     # -- collectives ------------------------------------------------------
     def allreduce_sum(self, value):
-        """Deferred collective: contribute and read after world.collect()."""
+        """Deferred collective: contribute and read after all contribute."""
         return self.world._collective(self.rank, "sum", value)
 
     def allreduce_max(self, value):
         return self.world._collective(self.rank, "max", value)
 
 
-class SimMPI:
-    """A simulated MPI world of ``size`` ranks in one process.
+#: historical name for the per-rank communicator handle
+SimComm = RankComm
 
-    Point-to-point messages flow through mailboxes keyed by
-    (dest, source, tag). Collectives use a two-phase contribute/resolve
-    protocol driven by :meth:`run_phases`.
+
+class Transport:
+    """Abstract communication + execution backend for a world of ranks.
+
+    The message-plane contract (identical across backends, asserted by
+    the conformance suite):
+
+    * point-to-point: FIFO per (source, dest, tag) channel; ``Recv``
+      with no matching pending message raises
+      :class:`~repro.resilience.errors.MessageNotFoundError`;
+      ``probe`` never blocks.
+    * collectives: ``allreduce_sum`` / ``allreduce_max`` are deferred —
+      each rank contributes, the final contributor observes the result
+      (earlier contributors read ``None``); :meth:`gather_bytes`
+      root-gathers per-rank byte payloads in rank order.
+    * failure: :meth:`fail_rank` marks a rank dead; every subsequent
+      operation touching it raises
+      :class:`~repro.resilience.errors.RankFailedError`.
+    * faults: the world owns a
+      :class:`~repro.resilience.faults.FaultInjector`; sends consult the
+      ``mpi.send`` site (drop / corrupt / delay / rank_failure) and
+      delayed messages park until :meth:`deliver_delayed`.
+    * accounting: every delivered-or-delayed send is recorded in
+      :attr:`log`, a :class:`MessageLog`, with identical records across
+      backends for the same schedule.
+
+    The execution-plane contract: :meth:`start_programs` instantiates
+    one stateful *rank program* per rank (``factory(rank, *args)``,
+    picklable by reference for out-of-process backends);
+    :meth:`call_all` invokes a method on every rank's program — wherever
+    the backend runs ranks — and returns per-rank results in rank
+    order; exceptions raised inside a program propagate to the caller
+    with their original type where the type is importable. A failed
+    rank's program raises :class:`RankFailedError` instead of running.
+    """
+
+    #: registry name of the backend
+    name = "abstract"
+
+    size: int
+
+    # -- handles -----------------------------------------------------------
+    def comm(self, rank: int) -> RankComm:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return RankComm(self, rank)
+
+    def comms(self) -> list:
+        return [self.comm(r) for r in range(self.size)]
+
+    # -- message-plane internals (backend-specific) ------------------------
+    def _send(self, source: int, dest: int, tag: int, array) -> None:
+        raise NotImplementedError
+
+    def _recv(self, rank: int, source: int, tag: int):
+        raise NotImplementedError
+
+    def _probe(self, rank: int, source: int, tag: int) -> bool:
+        raise NotImplementedError
+
+    def _collective(self, rank: int, op: str, value):
+        raise NotImplementedError
+
+    def deliver_delayed(self) -> int:
+        raise NotImplementedError
+
+    def pending_messages(self) -> int:
+        raise NotImplementedError
+
+    # -- rank failure ------------------------------------------------------
+    def fail_rank(self, rank: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def failed_ranks(self) -> set:
+        raise NotImplementedError
+
+    # -- collectives built on the point-to-point plane ---------------------
+    def gather_bytes(self, payloads, root: int = 0, tag: int = 0) -> list:
+        """Root-gather of per-rank byte payloads.
+
+        ``payloads`` holds one ``bytes``-like object per rank. Every
+        non-root rank ``Send``s its payload to ``root`` as a uint8
+        array; the root receives them in rank order. Returns the
+        per-rank payloads as ``bytes`` (the gather the cross-rank
+        profile fusion runs at job end). Traffic goes through the
+        normal send path, so message logging and armed ``mpi.send``
+        faults apply.
+        """
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"need one payload per rank ({self.size}), got {len(payloads)}"
+            )
+        for rank in range(self.size):
+            if rank == root:
+                continue
+            arr = np.frombuffer(bytes(payloads[rank]), dtype=np.uint8)
+            self.comm(rank).Send(arr, dest=root, tag=tag)
+        comm = self.comm(root)
+        out = []
+        for rank in range(self.size):
+            if rank == root:
+                out.append(bytes(payloads[rank]))
+            else:
+                out.append(comm.Recv(source=rank, tag=tag).tobytes())
+        return out
+
+    def run_phases(self, *phases) -> list:
+        """Run callables phase-by-phase across all ranks.
+
+        Each phase is a callable ``f(comm) -> result``; all ranks complete
+        a phase before the next begins (a bulk-synchronous step). Returns
+        the final phase's per-rank results.
+        """
+        results = []
+        for phase in phases:
+            results = [phase(self.comm(r)) for r in range(self.size)]
+        return results
+
+    # -- execution plane ---------------------------------------------------
+    def start_programs(self, factory, per_rank_args=None,
+                       local_factory=None) -> None:
+        raise NotImplementedError
+
+    def call_all(self, method: str, payloads=None) -> list:
+        raise NotImplementedError
+
+    def call_one(self, rank: int, method: str, *args):
+        raise NotImplementedError
+
+    @property
+    def programs(self):
+        """Live program objects when they are in-process, else None."""
+        return None
+
+    def close(self) -> None:
+        """Release backend resources (workers, shared memory). Idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessTransport(Transport):
+    """The deterministic in-process reference backend (``"inprocess"``).
+
+    A simulated MPI world of ``size`` ranks in one process: sends
+    deposit numpy arrays into per-destination mailboxes keyed by
+    (dest, source, tag); receives pop them in order. Because ranks are
+    driven in lockstep phases (post sends, then receive), the
+    nearest-neighbour exchange patterns of S3D map 1:1, and every
+    result — message log included — is bit-exact run to run.
 
     Fault injection (off by default, zero-cost when disabled): pass a
     :class:`~repro.resilience.faults.FaultInjector` and arm rules at
@@ -119,7 +327,14 @@ class SimMPI:
     :meth:`deliver_delayed`, ``rank_failure`` kills the sending rank
     (or ``detail={"rank": r}``); a failed rank makes every subsequent
     operation touching it raise :class:`RankFailedError`.
+
+    Rank programs (:meth:`start_programs`) are plain objects held by
+    the driver; :meth:`call_all` runs them serially in rank order —
+    rank counts model scaling but buy no wall-clock, which is exactly
+    what makes this backend the bitwise reference.
     """
+
+    name = "inprocess"
 
     def __init__(self, size: int, fault_injector=None):
         if size < 1:
@@ -132,14 +347,7 @@ class SimMPI:
         self._failed_ranks: set = set()
         self._delayed: list = []  # (dest, source, tag, array)
         self.dropped = 0
-
-    def comm(self, rank: int) -> SimComm:
-        if not 0 <= rank < self.size:
-            raise ValueError(f"rank {rank} out of range [0, {self.size})")
-        return SimComm(self, rank)
-
-    def comms(self) -> list:
-        return [self.comm(r) for r in range(self.size)]
+        self._programs: list | None = None
 
     # -- rank failure ------------------------------------------------------
     def fail_rank(self, rank: int) -> None:
@@ -158,7 +366,7 @@ class SimMPI:
         if rank in self._failed_ranks:
             raise RankFailedError(f"{role} rank {rank} has failed")
 
-    # -- internals -------------------------------------------------------
+    # -- message-plane internals -------------------------------------------
     def _send(self, source: int, dest: int, tag: int, array) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"destination rank {dest} out of range")
@@ -234,46 +442,123 @@ class SimMPI:
             return result
         return None
 
-    def gather_bytes(self, payloads, root: int = 0, tag: int = 0) -> list:
-        """Root-gather of per-rank byte payloads.
+    def pending_messages(self) -> int:
+        return sum(len(q) for q in self._mailboxes.values())
 
-        ``payloads`` holds one ``bytes``-like object per rank. Every
-        non-root rank ``Send``s its payload to ``root`` as a uint8
-        array; the root receives them in rank order. Returns the
-        per-rank payloads as ``bytes`` (the gather the cross-rank
-        profile fusion runs at job end). Traffic goes through the
-        normal send path, so message logging and armed ``mpi.send``
-        faults apply.
+    # -- execution plane ---------------------------------------------------
+    def start_programs(self, factory, per_rank_args=None,
+                       local_factory=None) -> None:
+        """Instantiate one rank program per rank, in the driver process.
+
+        ``factory(rank, *per_rank_args[rank])`` builds rank ``rank``'s
+        program. ``local_factory(rank)``, when given, is preferred by
+        in-process backends — it may close over live driver-process
+        objects (e.g. a shared telemetry backend) that out-of-process
+        backends cannot share; those backends ignore it and use the
+        picklable ``factory`` path.
         """
+        args = per_rank_args or [() for _ in range(self.size)]
+        if len(args) != self.size:
+            raise ValueError(
+                f"need per-rank args for {self.size} ranks, got {len(args)}"
+            )
+        build = local_factory if local_factory is not None else (
+            lambda rank: factory(rank, *args[rank])
+        )
+        self._programs = [build(rank) for rank in range(self.size)]
+
+    def _require_programs(self) -> list:
+        if self._programs is None:
+            raise RuntimeError(
+                "no rank programs started; call start_programs() first"
+            )
+        return self._programs
+
+    def call_all(self, method: str, payloads=None) -> list:
+        """Invoke ``method`` on every rank's program, serially in rank
+        order; returns per-rank results."""
+        programs = self._require_programs()
+        if payloads is None:
+            payloads = [() for _ in range(self.size)]
         if len(payloads) != self.size:
             raise ValueError(
                 f"need one payload per rank ({self.size}), got {len(payloads)}"
             )
         for rank in range(self.size):
-            if rank == root:
-                continue
-            arr = np.frombuffer(bytes(payloads[rank]), dtype=np.uint8)
-            self.comm(rank).Send(arr, dest=root, tag=tag)
-        comm = self.comm(root)
-        out = []
-        for rank in range(self.size):
-            if rank == root:
-                out.append(bytes(payloads[rank]))
-            else:
-                out.append(comm.Recv(source=rank, tag=tag).tobytes())
-        return out
+            self._check_alive(rank, "executing")
+        return [
+            getattr(programs[rank], method)(*payloads[rank])
+            for rank in range(self.size)
+        ]
 
-    def run_phases(self, *phases) -> list:
-        """Run callables phase-by-phase across all ranks.
+    def call_one(self, rank: int, method: str, *args):
+        programs = self._require_programs()
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        self._check_alive(rank, "executing")
+        return getattr(programs[rank], method)(*args)
 
-        Each phase is a callable ``f(comm) -> result``; all ranks complete
-        a phase before the next begins (a bulk-synchronous step). Returns
-        the final phase's per-rank results.
-        """
-        results = []
-        for phase in phases:
-            results = [phase(self.comm(r)) for r in range(self.size)]
-        return results
+    @property
+    def programs(self):
+        return self._programs
 
-    def pending_messages(self) -> int:
-        return sum(len(q) for q in self._mailboxes.values())
+    def close(self) -> None:
+        self._programs = None
+
+
+#: historical name for the in-process world (back-compat)
+SimMPI = InProcessTransport
+
+
+# ---------------------------------------------------------------------------
+# registry / selection
+# ---------------------------------------------------------------------------
+def resolve_transport_name(name: str | None = None) -> str:
+    """Explicit name wins; otherwise ``REPRO_TRANSPORT``; default
+    ``"inprocess"``. Raises on unregistered names."""
+    if name is None:
+        name = os.environ.get(ENV_VAR, "").strip() or "inprocess"
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; choose from {TRANSPORTS}"
+        )
+    return name
+
+
+def transport_unavailable_reason(name: str) -> str | None:
+    """None when backend ``name`` can run here, else a human reason
+    (the skip-with-reason string the CI transport lane prints)."""
+    name = resolve_transport_name(name)
+    if name == "mpi4py":
+        from repro.parallel.mpi import mpi4py_unavailable_reason
+
+        return mpi4py_unavailable_reason()
+    return None
+
+
+def available_transports() -> list:
+    """Registered transport names usable in this environment."""
+    return [n for n in TRANSPORTS if transport_unavailable_reason(n) is None]
+
+
+def create_transport(name: str | None = None, size: int = 1,
+                     fault_injector=None, **kwargs) -> Transport:
+    """Build a transport backend by registry name.
+
+    ``name=None`` defers to ``REPRO_TRANSPORT`` (default
+    ``"inprocess"``). Extra keyword arguments are backend-specific
+    (e.g. ``context=`` for the multiprocessing backend). Raises
+    :class:`TransportUnavailableError` when the backend cannot run in
+    this environment.
+    """
+    name = resolve_transport_name(name)
+    if name == "inprocess":
+        return InProcessTransport(size, fault_injector=fault_injector)
+    if name == "multiprocessing":
+        from repro.parallel.shm import MultiprocessingTransport
+
+        return MultiprocessingTransport(size, fault_injector=fault_injector,
+                                        **kwargs)
+    from repro.parallel.mpi import MPI4PyTransport
+
+    return MPI4PyTransport(size, fault_injector=fault_injector, **kwargs)

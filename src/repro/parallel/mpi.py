@@ -1,0 +1,211 @@
+"""Optional mpi4py transport backend (real MPI, SPMD launch).
+
+Activates only when ``mpi4py`` is importable; everywhere else
+:func:`mpi4py_unavailable_reason` returns the human-readable reason the
+CI transport lane prints as a skip message.
+
+Execution model
+---------------
+Unlike the driver-owned backends, real MPI is SPMD: *every* rank runs
+the same script under ``mpirun -n <size>``, and the transport wraps the
+local rank's ``COMM_WORLD`` view. The driver-style API therefore only
+exposes the local rank: ``comm(rank)`` for any non-local rank raises,
+and the execution plane runs the local rank's program only —
+``call_all`` returns a one-entry list on each rank, and collective
+results are produced by MPI itself rather than the deferred in-process
+buffer. The conformance battery detects this through
+:attr:`MPI4PyTransport.spmd` and exercises the local-rank contract.
+
+This module is deliberately thin: the contract lives in
+:mod:`repro.parallel.comm`, and the conformance suite is what a real
+cluster deployment would run first (``mpirun -n 4 pytest
+tests/test_transport_conformance.py``).
+"""
+
+from __future__ import annotations
+
+from repro.parallel.comm import (
+    MessageLog,
+    RankComm,
+    Transport,
+    TransportUnavailableError,
+)
+from repro.resilience.errors import MessageNotFoundError, RankFailedError
+from repro.resilience.faults import resolve_injector
+
+__all__ = ["MPI4PyTransport", "mpi4py_unavailable_reason"]
+
+
+def mpi4py_unavailable_reason() -> str | None:
+    """None when the mpi4py backend can run, else why not."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return "mpi4py is not installed in this environment"
+    try:
+        from mpi4py import MPI
+    except ImportError as exc:
+        return f"mpi4py present but MPI runtime failed to load: {exc}"
+    if MPI.COMM_WORLD.Get_size() < 1:  # pragma: no cover - defensive
+        return "MPI world has no ranks"
+    return None
+
+
+class MPI4PyTransport(Transport):
+    """Real-MPI backend (name ``"mpi4py"``), one transport per rank.
+
+    Wraps the local rank's ``MPI.COMM_WORLD`` view behind the
+    :class:`~repro.parallel.comm.Transport` contract. Point-to-point
+    maps to buffered ``send``/``recv`` with tag matching; ``probe`` to
+    ``Iprobe``; the deferred allreduces to true ``allreduce`` (every
+    rank observes the result — a superset of the deferred contract
+    where only the last contributor must). Fault injection consults the
+    driver-resident injector exactly like the reference backend, so
+    schedules replay wherever the seed replays.
+
+    Rank failure is advisory: MPI has no portable fault tolerance, so
+    :meth:`fail_rank` marks ranks locally and the transport refuses
+    operations touching them, matching the reference semantics for
+    everything short of an actual process death.
+    """
+
+    name = "mpi4py"
+    spmd = True
+
+    def __init__(self, size: int = 1, fault_injector=None):
+        reason = mpi4py_unavailable_reason()
+        if reason is not None:
+            raise TransportUnavailableError(reason)
+        from mpi4py import MPI
+
+        self._mpi = MPI
+        self._world = MPI.COMM_WORLD
+        self.size = self._world.Get_size()
+        if size not in (1, self.size):
+            raise TransportUnavailableError(
+                f"requested {size} ranks but the MPI job was launched "
+                f"with {self.size}; relaunch with mpirun -n {size}"
+            )
+        self.local_rank = self._world.Get_rank()
+        self.faults = resolve_injector(fault_injector)
+        self.log = MessageLog()
+        self._failed_ranks: set = set()
+        self._programs: list | None = None
+        self.dropped = 0
+
+    # -- handles -----------------------------------------------------------
+    def comm(self, rank: int) -> RankComm:
+        if rank != self.local_rank:
+            raise ValueError(
+                f"SPMD transport: rank {rank} lives in another process "
+                f"(local rank is {self.local_rank})"
+            )
+        return RankComm(self, rank)
+
+    def comms(self) -> list:
+        return [self.comm(self.local_rank)]
+
+    # -- rank failure ------------------------------------------------------
+    def fail_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        self._failed_ranks.add(rank)
+
+    @property
+    def failed_ranks(self) -> set:
+        return set(self._failed_ranks)
+
+    def _check_alive(self, rank: int, role: str) -> None:
+        if rank in self._failed_ranks:
+            raise RankFailedError(f"{role} rank {rank} has failed")
+
+    # -- message plane -----------------------------------------------------
+    def _send(self, source: int, dest: int, tag: int, array) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        self._check_alive(source, "source")
+        self._check_alive(dest, "destination")
+        if self.faults.enabled:
+            spec = self.faults.decide("mpi.send")
+            if spec is not None:
+                if spec.mode == "rank_failure":
+                    victim = int(spec.detail.get("rank", source))
+                    self.fail_rank(victim)
+                    raise RankFailedError(
+                        f"rank {victim} failed during send "
+                        f"({source} -> {dest}, tag {tag})"
+                    )
+                if spec.mode == "drop":
+                    self.dropped += 1
+                    return
+                if spec.mode == "corrupt":
+                    import numpy as np
+
+                    raw = self.faults.corrupt_bytes(array.tobytes())
+                    array = np.frombuffer(raw, dtype=array.dtype).reshape(
+                        array.shape).copy()
+        self._world.send(array, dest=dest, tag=tag)
+        self.log.record(source, dest, tag, array.nbytes)
+
+    def _recv(self, rank: int, source: int, tag: int):
+        self._check_alive(rank, "receiving")
+        self._check_alive(source, "source")
+        if not self._world.Iprobe(source=source, tag=tag):
+            raise MessageNotFoundError(
+                f"rank {rank}: no pending message from rank {source} with "
+                f"tag {tag}"
+            )
+        return self._world.recv(source=source, tag=tag)
+
+    def _probe(self, rank: int, source: int, tag: int) -> bool:
+        return bool(self._world.Iprobe(source=source, tag=tag))
+
+    def _collective(self, rank: int, op: str, value):
+        mpi_op = self._mpi.SUM if op == "sum" else self._mpi.MAX
+        return self._world.allreduce(value, op=mpi_op)
+
+    def deliver_delayed(self) -> int:
+        return 0  # real MPI delivers eagerly; nothing is ever parked
+
+    def pending_messages(self) -> int:
+        return 0
+
+    # -- execution plane (local rank only, SPMD) ---------------------------
+    def start_programs(self, factory, per_rank_args=None,
+                       local_factory=None) -> None:
+        args = per_rank_args or [() for _ in range(self.size)]
+        if len(args) != self.size:
+            raise ValueError(
+                f"need per-rank args for {self.size} ranks, got {len(args)}"
+            )
+        rank = self.local_rank
+        if local_factory is not None:
+            self._programs = [local_factory(rank)]
+        else:
+            self._programs = [factory(rank, *args[rank])]
+
+    def call_all(self, method: str, payloads=None) -> list:
+        if self._programs is None:
+            raise RuntimeError(
+                "no rank programs started; call start_programs() first"
+            )
+        if payloads is None:
+            payloads = [() for _ in range(self.size)]
+        rank = self.local_rank
+        self._check_alive(rank, "executing")
+        return [getattr(self._programs[0], method)(*payloads[rank])]
+
+    def call_one(self, rank: int, method: str, *args):
+        if rank != self.local_rank:
+            raise ValueError(
+                f"SPMD transport: rank {rank} lives in another process"
+            )
+        self._check_alive(rank, "executing")
+        return getattr(self._programs[0], method)(*args)
+
+    @property
+    def programs(self):
+        return self._programs
+
+    def close(self) -> None:
+        self._programs = None

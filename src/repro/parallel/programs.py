@@ -1,0 +1,87 @@
+"""Module-level rank programs used by the transport conformance suite.
+
+Execution-plane factories must be picklable *by reference* so
+out-of-process backends (multiprocessing, mpi4py) can ship them to
+workers — hence these live at module level rather than inside tests.
+They double as minimal examples of the rank-program protocol: a
+factory ``f(rank, *args) -> program`` plus ordinary methods invoked via
+:meth:`~repro.parallel.comm.Transport.call_all`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.resilience.errors import MessageNotFoundError, RankFailedError
+
+__all__ = ["EchoProgram", "FailingProgram", "make_echo", "make_failing"]
+
+
+class EchoProgram:
+    """Stateful echo worker: proves where and how often it runs.
+
+    ``pid()`` exposes the hosting process id (distinct across ranks on
+    a true multi-core backend, identical on the in-process reference),
+    ``bump()`` proves state persists between calls, and
+    ``scale(arr, k)`` exercises the array payload path both ways.
+    """
+
+    def __init__(self, rank: int, base: float = 0.0):
+        self.rank = rank
+        self.base = float(base)
+        self.calls = 0
+
+    def pid(self) -> int:
+        return os.getpid()
+
+    def bump(self) -> int:
+        self.calls += 1
+        return self.calls
+
+    def identity(self):
+        return (self.rank, self.base)
+
+    def scale(self, arr, k):
+        self.calls += 1
+        return np.asarray(arr) * k + self.base
+
+    def roundtrip(self, arr):
+        """Return the payload untouched plus a checksum (tuple path)."""
+        a = np.asarray(arr)
+        return a, float(a.sum())
+
+
+class FailingProgram:
+    """Raises a chosen exception type — exercises typed propagation,
+    including the resilience taxonomy fault-handling code matches on."""
+
+    EXCEPTIONS = {
+        "value": ValueError,
+        "zero": ZeroDivisionError,
+        "runtime": RuntimeError,
+        "rank": RankFailedError,
+        "message": MessageNotFoundError,
+    }
+
+    def __init__(self, rank: int, failing_rank: int = 0, kind: str = "value"):
+        self.rank = rank
+        self.failing_rank = failing_rank
+        self.kind = kind
+
+    def work(self):
+        if self.rank == self.failing_rank:
+            raise self.EXCEPTIONS[self.kind](
+                f"rank {self.rank} deliberate {self.kind} failure"
+            )
+        return self.rank
+
+
+def make_echo(rank: int, base: float = 0.0) -> EchoProgram:
+    return EchoProgram(rank, base)
+
+
+def make_failing(rank: int, failing_rank: int = 0,
+                 kind: str = "value") -> FailingProgram:
+    return FailingProgram(rank, failing_rank, kind)

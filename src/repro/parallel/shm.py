@@ -1,0 +1,478 @@
+"""Shared-memory multiprocessing transport: ranks on separate cores.
+
+:class:`MultiprocessingTransport` is the ``"multiprocessing"`` backend
+of the pluggable transport layer (:mod:`repro.parallel.comm`). The
+message plane — mailboxes, collectives, fault injection, message-log
+accounting — is the driver-owned deterministic machinery inherited from
+:class:`~repro.parallel.comm.InProcessTransport`, so every schedule,
+fault replay, and byte count is identical to the reference backend.
+The *execution plane* is where the backends diverge: rank programs run
+in persistent spawn-safe worker processes, one per rank, so
+:meth:`~repro.parallel.comm.Transport.call_all` fans per-rank compute
+(the RHS evaluations that dominate DNS wall-clock) out across cores.
+
+Data path
+---------
+Program payloads and results move through per-worker
+:class:`~multiprocessing.shared_memory.SharedMemory` segments — the
+halo-extended conserved-state blocks are written into the worker's
+inbound segment and the owned-interior results come back through the
+worker's outbound segment, so no multi-megabyte array is ever pickled.
+The control plane is a pickled pipe protocol: small command tuples
+(method name, array shapes/dtypes/offsets, inline scalars) keep the
+per-call overhead to one ``send``/``recv`` pair per worker.
+
+Failure semantics
+-----------------
+Exceptions raised inside a rank program are shipped back as
+(module, qualname, message) and re-raised in the driver with their
+original type when that type is importable (the resilience taxonomy —
+:class:`~repro.resilience.errors.RankFailedError`,
+:class:`~repro.resilience.errors.MessageNotFoundError`, … — always is),
+so fault handling code behaves identically on every transport. A worker
+process that dies marks its rank failed and raises
+:class:`WorkerCrashedError`, a :class:`RankFailedError` subclass.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.comm import InProcessTransport
+from repro.resilience.errors import RankFailedError
+
+__all__ = [
+    "MultiprocessingTransport",
+    "WorkerCrashedError",
+    "WorkerError",
+]
+
+#: initial per-direction SharedMemory segment size [bytes]
+INITIAL_SEGMENT = 1 << 20
+
+#: array offsets inside a segment are aligned to this many bytes
+ALIGN = 64
+
+#: exception modules trusted for typed re-raise in the driver
+_SAFE_EXC_PREFIXES = ("builtins", "numpy", "repro.")
+
+
+class WorkerError(RuntimeError):
+    """A rank program raised an exception whose type could not be
+    reconstructed in the driver; carries the original type and text."""
+
+
+class WorkerCrashedError(RankFailedError):
+    """A transport worker process died (the multiprocessing view of a
+    dead node); the rank is marked failed."""
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) & ~(ALIGN - 1)
+
+
+def _split_payload(args) -> tuple:
+    """Split positional args into shm-bound arrays and inline objects.
+
+    Returns ``(specs, packs, total)``: ``specs`` describes each arg in
+    order — ``("arr", shape, dtype_str, offset)`` for numpy arrays
+    (packed into shared memory at ``offset``) or ``("obj", value)`` for
+    anything else (pickled inline with the control message);
+    ``packs`` holds ``(offset, contiguous_array)`` pairs and ``total``
+    the segment bytes required.
+    """
+    specs, packs, offset = [], [], 0
+    for a in args:
+        if isinstance(a, np.ndarray) and a.dtype != object:
+            arr = np.ascontiguousarray(a)
+            offset = _align(offset)
+            specs.append(("arr", arr.shape, arr.dtype.str, offset))
+            packs.append((offset, arr))
+            offset += arr.nbytes
+        else:
+            specs.append(("obj", a))
+    return specs, packs, offset
+
+
+def _write_packs(shm, packs) -> None:
+    for offset, arr in packs:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                          offset=offset)
+        view[...] = arr
+
+
+def _read_specs(specs, shm, copy: bool):
+    """Rebuild the positional args/results described by ``specs``."""
+    out = []
+    for spec in specs:
+        if spec[0] == "arr":
+            _, shape, dtype, offset = spec
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                              offset=offset)
+            out.append(np.array(view, copy=True) if copy else view)
+        else:
+            out.append(spec[1])
+    return out
+
+
+def _rebuild_exception(module: str, qualname: str, message: str):
+    """Re-raise-able exception instance from its shipped identity."""
+    if module == "builtins" or any(
+        module == p or module.startswith(p) for p in _SAFE_EXC_PREFIXES
+    ):
+        try:
+            import importlib
+
+            obj = importlib.import_module(module)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            if isinstance(obj, type) and issubclass(obj, BaseException):
+                return obj(message)
+        except Exception:
+            pass
+    return WorkerError(f"{module}.{qualname}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _worker_main(rank: int, conn) -> None:
+    """Worker loop: init a rank program, serve method calls over shm.
+
+    Runs in a spawned process. Messages (all pickled tuples on the
+    pipe): ``("init", factory, args)``, ``("attach_in", name)``,
+    ``("call", method, specs)``, ``("close",)``. Replies: ``("ok",
+    kind, specs, out_name)`` or ``("error", module, qualname, text)``.
+    """
+    program = None
+    shm_in = None
+    shm_out = None
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "close":
+                break
+            if kind == "attach_in":
+                if shm_in is not None:
+                    shm_in.close()
+                shm_in = shared_memory.SharedMemory(name=msg[1])
+                continue
+            try:
+                if kind == "init":
+                    _, factory, args = msg
+                    program = factory(rank, *args)
+                    conn.send(("ok", "single", [("obj", None)], None))
+                    continue
+                if kind != "call":
+                    raise RuntimeError(f"unknown worker command {kind!r}")
+                _, method, specs = msg
+                args = _read_specs(specs, shm_in, copy=False)
+                result = getattr(program, method)(*args)
+                if isinstance(result, tuple):
+                    out_kind, parts = "tuple", result
+                else:
+                    out_kind, parts = "single", (result,)
+                out_specs, packs, total = _split_payload(parts)
+                name = None
+                if packs:
+                    if shm_out is None or shm_out.size < total:
+                        if shm_out is not None:
+                            shm_out.close()
+                            shm_out.unlink()
+                        shm_out = shared_memory.SharedMemory(
+                            create=True,
+                            size=max(total, INITIAL_SEGMENT,
+                                     (shm_out.size * 2) if shm_out else 0),
+                        )
+                    _write_packs(shm_out, packs)
+                    name = shm_out.name
+                conn.send(("ok", out_kind, out_specs, name))
+            except BaseException as exc:  # ship to driver, keep serving
+                conn.send(("error", type(exc).__module__,
+                           type(exc).__qualname__, str(exc)))
+    finally:
+        if shm_in is not None:
+            shm_in.close()
+        if shm_out is not None:
+            shm_out.close()
+            try:
+                shm_out.unlink()
+            except FileNotFoundError:
+                pass
+        conn.close()
+
+
+class _WorkerHandle:
+    """Driver-side bookkeeping for one worker process."""
+
+    __slots__ = ("proc", "conn", "shm_in", "shm_out", "busy")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.shm_in = None   # driver-created inbound segment
+        self.shm_out = None  # attachment to the worker-created outbound
+        self.busy = False
+
+    def release(self) -> None:
+        if self.shm_in is not None:
+            self.shm_in.close()
+            try:
+                self.shm_in.unlink()
+            except FileNotFoundError:
+                pass
+            self.shm_in = None
+        if self.shm_out is not None:
+            self.shm_out.close()
+            self.shm_out = None
+
+
+#: live transports closed by the atexit sweep (weak: close() drops them)
+_LIVE: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_transports() -> None:
+    for t in list(_LIVE):
+        t.close()
+
+
+class MultiprocessingTransport(InProcessTransport):
+    """Worker-pool transport: shared message plane, parallel execution.
+
+    Parameters
+    ----------
+    size:
+        Rank count; one worker process per rank.
+    fault_injector:
+        As for :class:`~repro.parallel.comm.InProcessTransport`; the
+        injector lives in the driver, so schedules replay exactly as on
+        the in-process backend.
+    context:
+        Multiprocessing start method (default ``"spawn"`` — safe with
+        threaded BLAS; ``"fork"``/``"forkserver"`` accepted).
+
+    Workers are lazy: a transport used only for its message plane (the
+    conformance battery, halo exchanges, chemlb shipping) spawns no
+    processes. The pool starts on the first :meth:`start_programs`.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, size: int, fault_injector=None,
+                 context: str = "spawn"):
+        super().__init__(size, fault_injector=fault_injector)
+        self._ctx = multiprocessing.get_context(context)
+        self._workers: list | None = None
+        self._closed = False
+        _LIVE.add(self)
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_workers(self) -> list:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        if self._workers is None:
+            workers = []
+            for rank in range(self.size):
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_worker_main, args=(rank, child_conn),
+                    name=f"repro-transport-rank{rank}", daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                workers.append(_WorkerHandle(proc, parent_conn))
+            self._workers = workers
+        return self._workers
+
+    def close(self) -> None:
+        """Stop workers and release shared memory. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE.discard(self)
+        workers, self._workers = self._workers, None
+        if not workers:
+            return
+        for h in workers:
+            try:
+                h.conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for h in workers:
+            h.proc.join(timeout=5.0)
+            if h.proc.is_alive():
+                h.proc.terminate()
+                h.proc.join(timeout=5.0)
+            try:
+                h.conn.close()
+            except OSError:
+                pass
+            h.release()
+
+    def __del__(self):  # best-effort: atexit sweep is the reliable path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- shm helpers -------------------------------------------------------
+    def _ensure_in_segment(self, h: _WorkerHandle, nbytes: int) -> None:
+        if h.shm_in is not None and h.shm_in.size >= nbytes:
+            return
+        new_size = max(nbytes, INITIAL_SEGMENT,
+                       (h.shm_in.size * 2) if h.shm_in is not None else 0)
+        new = shared_memory.SharedMemory(create=True, size=new_size)
+        h.conn.send(("attach_in", new.name))
+        if h.shm_in is not None:
+            h.shm_in.close()
+            try:
+                h.shm_in.unlink()
+            except FileNotFoundError:
+                pass
+        h.shm_in = new
+
+    def _attach_out(self, h: _WorkerHandle, name):
+        if name is None:
+            return None
+        if h.shm_out is None or h.shm_out.name != name:
+            if h.shm_out is not None:
+                h.shm_out.close()
+            h.shm_out = shared_memory.SharedMemory(name=name)
+        return h.shm_out
+
+    # -- dispatch/collect --------------------------------------------------
+    def _crash(self, rank: int) -> WorkerCrashedError:
+        self.fail_rank(rank)
+        h = self._workers[rank]
+        h.busy = False
+        return WorkerCrashedError(
+            f"worker process for rank {rank} died "
+            f"(exitcode {h.proc.exitcode})"
+        )
+
+    def _dispatch(self, rank: int, method: str, args):
+        """Send a call to rank's worker; returns None, or the
+        WorkerCrashedError when the worker is already dead."""
+        h = self._workers[rank]
+        try:
+            specs, packs, total = _split_payload(args)
+            if packs:
+                self._ensure_in_segment(h, total)
+                _write_packs(h.shm_in, packs)
+            h.conn.send(("call", method, specs))
+        except (BrokenPipeError, OSError):
+            return self._crash(rank)
+        h.busy = True
+        return None
+
+    def _collect(self, rank: int):
+        """Wait for rank's reply; returns the result or the exception."""
+        h = self._workers[rank]
+        try:
+            reply = h.conn.recv()
+        except (EOFError, OSError):
+            return self._crash(rank)
+        h.busy = False
+        if reply[0] == "error":
+            _, module, qualname, message = reply
+            return _rebuild_exception(module, qualname, message)
+        _, kind, specs, out_name = reply
+        shm = self._attach_out(h, out_name)
+        parts = _read_specs(specs, shm, copy=True)
+        return tuple(parts) if kind == "tuple" else parts[0]
+
+    # -- execution plane ---------------------------------------------------
+    def start_programs(self, factory, per_rank_args=None,
+                       local_factory=None) -> None:
+        """Instantiate rank programs inside the worker processes.
+
+        ``factory`` and every entry of ``per_rank_args`` must pickle
+        (factories by reference: module-level classes/functions).
+        ``local_factory`` — an in-process-only optimization hook — is
+        ignored here: worker-resident programs cannot close over driver
+        objects.
+        """
+        args = per_rank_args or [() for _ in range(self.size)]
+        if len(args) != self.size:
+            raise ValueError(
+                f"need per-rank args for {self.size} ranks, got {len(args)}"
+            )
+        workers = self._ensure_workers()
+        crashed = [None] * self.size
+        for rank in range(self.size):
+            try:
+                workers[rank].conn.send(("init", factory, tuple(args[rank])))
+            except (BrokenPipeError, OSError):
+                crashed[rank] = self._crash(rank)
+        errors = []
+        for rank in range(self.size):
+            got = crashed[rank]
+            if got is None:
+                got = self._collect(rank)
+            if isinstance(got, BaseException):
+                errors.append((rank, got))
+        if errors:
+            rank, exc = errors[0]
+            raise exc
+        self._programs = ()  # sentinel: programs exist, remotely
+
+    def _require_started(self) -> list:
+        if self._programs is None:
+            raise RuntimeError(
+                "no rank programs started; call start_programs() first"
+            )
+        return self._ensure_workers()
+
+    def call_all(self, method: str, payloads=None) -> list:
+        """Invoke ``method`` on every rank's program, concurrently
+        across the worker pool; returns per-rank results in rank order.
+
+        Raises :class:`RankFailedError` without running any program if
+        a rank is already failed; a typed exception raised by one
+        program is re-raised after every reply is drained (pipes stay
+        in sync for subsequent calls).
+        """
+        self._require_started()
+        if payloads is None:
+            payloads = [() for _ in range(self.size)]
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"need one payload per rank ({self.size}), got {len(payloads)}"
+            )
+        for rank in range(self.size):
+            self._check_alive(rank, "executing")
+        results = [None] * self.size
+        for rank in range(self.size):
+            results[rank] = self._dispatch(rank, method,
+                                           tuple(payloads[rank]))
+        for rank in range(self.size):
+            if results[rank] is None:  # dispatched; drain the reply
+                results[rank] = self._collect(rank)
+        for got in results:
+            if isinstance(got, BaseException):
+                raise got
+        return results
+
+    def call_one(self, rank: int, method: str, *args):
+        self._require_started()
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        self._check_alive(rank, "executing")
+        got = self._dispatch(rank, method, args)
+        if got is None:
+            got = self._collect(rank)
+        if isinstance(got, BaseException):
+            raise got
+        return got
+
+    @property
+    def programs(self):
+        """Worker-resident programs are not reachable from the driver."""
+        return None

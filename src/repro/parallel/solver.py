@@ -29,11 +29,88 @@ from repro.core.grid import Grid
 from repro.core.rhs import CompressibleRHS
 from repro.core.state import State
 from repro.parallel import chemlb
+from repro.parallel.comm import create_transport
 from repro.parallel.halo import HaloExchanger
 from repro.telemetry import resolve as resolve_telemetry
 
 #: halo depth for nested-gradient (viscous-flux) bitwise equivalence
 DEEP_HALO = 2 * HALF_WIDTH + 1  # 9 >= filter's 5 as well
+
+
+class SolverRankProgram:
+    """One rank's compute unit, living wherever the transport runs ranks.
+
+    Owns the rank's ghost-extended :class:`~repro.core.state.State`,
+    :class:`~repro.core.rhs.CompressibleRHS` evaluator, and filter
+    stack. The driver ships ghost-extended conserved blocks in and gets
+    owned-interior results back, so the program needs no knowledge of
+    the decomposition beyond its own interior slices — which is what
+    makes it picklable and transport-agnostic: the in-process backend
+    holds these objects directly, the multiprocessing backend
+    constructs them inside spawn workers from the same arguments.
+
+    ``telemetry=None`` resolves per the environment unless
+    ``rank_telemetry`` asks for a private recording backend (the
+    per-process profile that cross-rank fusion merges); in-process
+    drivers may instead inject a live shared backend via the
+    ``local_factory`` path.
+    """
+
+    def __init__(self, rank, mechanism, ext_shape, spacings, interior,
+                 transport=None, reacting=True, filter_alpha=0.2,
+                 rhs_engine=None, defer_reactions=False,
+                 rank_telemetry=False, telemetry=None):
+        self.rank = int(rank)
+        if telemetry is None:
+            if rank_telemetry:
+                from repro.telemetry import Telemetry
+
+                telemetry = Telemetry()
+            else:
+                telemetry = resolve_telemetry(None)
+        self.telemetry = telemetry
+        ext_shape = tuple(int(n) for n in ext_shape)
+        lengths = tuple(dx * (n - 1) for dx, n in zip(spacings, ext_shape))
+        g = Grid(ext_shape, lengths, periodic=(False,) * len(ext_shape))
+        self.state = State(mechanism, g)
+        # deferred-reaction delegate: the RHS skips its source terms and
+        # stashes (rho, T, Y) for the driver-side chemistry balancer
+        delegate = (lambda rhs, t, rho, T, Y: None) if defer_reactions else None
+        self.rhs = CompressibleRHS(self.state, transport=transport,
+                                   boundaries={}, reacting=reacting,
+                                   telemetry=telemetry, engine=rhs_engine,
+                                   reaction_delegate=delegate)
+        self.filters = [
+            FilterOperator(n, periodic=False, alpha=filter_alpha,
+                           telemetry=telemetry)
+            for n in ext_shape
+        ]
+        self.interior = tuple(interior)
+        self.interior1 = (slice(None),) + tuple(interior)
+
+    def rhs_block(self, t, ext):
+        """RHS on the ghost-extended block; returns the owned interior."""
+        du_ext = self.rhs(t, ext)
+        return np.ascontiguousarray(du_ext[self.interior1])
+
+    def rhs_block_deferred(self, t, ext):
+        """As :meth:`rhs_block` but with reactions deferred: also returns
+        the interior (rho, T, Y) the chemistry balancer needs."""
+        du = self.rhs_block(t, ext)
+        rho, T, Y = self.rhs.last_reaction_inputs
+        return (du,
+                np.ascontiguousarray(rho[self.interior]),
+                np.ascontiguousarray(T[self.interior]),
+                np.ascontiguousarray(Y[self.interior1]))
+
+    def filter_block(self, ext):
+        """Filter the extended block along every axis; returns interior."""
+        for axis, filt in enumerate(self.filters):
+            filt.apply(ext, axis=1 + axis, out=ext)
+        return np.ascontiguousarray(ext[self.interior1])
+
+    def telemetry_snapshot(self) -> dict:
+        return self.telemetry.snapshot()
 
 
 class ParallelField:
@@ -100,7 +177,16 @@ class ParallelPeriodicSolver:
         As for the serial solver; all grid axes must be periodic and
         uniformly spaced.
     decomp, world:
-        Decomposition and simulated-MPI world.
+        Decomposition and transport world. ``world=None`` builds one
+        via :func:`repro.parallel.comm.create_transport` — selected by
+        ``comm_transport`` or the ``REPRO_TRANSPORT`` environment
+        switch — and :meth:`close` releases it.
+    comm_transport:
+        Communication-backend name (``"inprocess"``,
+        ``"multiprocessing"``, ``"mpi4py"``) used when ``world`` is
+        None; distinct from ``transport``, which selects the
+        *molecular* transport model. On an explicit ``world`` the
+        name must agree with the world's backend.
     transport, reacting, scheme, filter_alpha:
         Passed through to per-rank RHS/filter construction.
     rhs_engine:
@@ -139,12 +225,13 @@ class ParallelPeriodicSolver:
         explicit ``dt``.
     """
 
-    def __init__(self, mechanism, grid, decomp, world, transport=None,
+    def __init__(self, mechanism, grid, decomp, world=None, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
                  filter_interval=1, telemetry=None, rhs_engine=None,
                  chem_load_balance=None, chemlb_threshold=1.1,
                  chemlb_cost_model=None, chemlb_work_model=None,
-                 rank_telemetry=False, observability=None):
+                 rank_telemetry=False, observability=None,
+                 comm_transport=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -152,6 +239,14 @@ class ParallelPeriodicSolver:
         self.mech = mechanism
         self.grid = grid
         self.decomp = decomp
+        self._owns_world = world is None
+        if world is None:
+            world = create_transport(comm_transport, size=decomp.size)
+        elif comm_transport is not None and world.name != comm_transport:
+            raise ValueError(
+                f"explicit world is a {world.name!r} transport but "
+                f"comm_transport={comm_transport!r} was requested"
+            )
         self.world = world
         self.scheme = SCHEMES[scheme]()
         self.filter_interval = int(filter_interval)
@@ -168,50 +263,72 @@ class ParallelPeriodicSolver:
                 work_model=chemlb_work_model, telemetry=self.telemetry,
             )
         # when balancing, rank RHS defers its reaction sources: the
-        # delegate returns None, the RHS stashes (rho, T, Y) on
-        # last_reaction_inputs, and _rhs_all adds balanced wdot to the
-        # owned interior instead
-        delegate = (lambda rhs, t, rho, T, Y: None) if self.chemlb else None
+        # program stashes (rho, T, Y), returns them with the du block,
+        # and _rhs_all adds balanced wdot to the owned interior instead
+        self._defer = self.chemlb is not None
+        self._rank_telemetry = bool(rank_telemetry)
+        # species layout of the conserved array, needed driver-side to
+        # add balanced reaction sources without per-rank State objects
+        self._n_transported = mechanism.n_species - 1
+        self._species_slice = slice(2 + grid.ndim,
+                                    2 + grid.ndim + self._n_transported)
+        # per-rank programs live wherever the transport runs ranks: the
+        # in-process backend holds them in the driver (and may share the
+        # driver's live telemetry backend through local_factory, which
+        # out-of-process backends ignore in favour of the pickled args)
+        per_rank_args = [
+            (mechanism, self.halo.extended_shape(rank), self.spacings,
+             self.halo.interior_slices(rank), transport, reacting,
+             filter_alpha, rhs_engine, self._defer, rank_telemetry)
+            for rank in range(decomp.size)
+        ]
         if rank_telemetry:
-            from repro.telemetry import Telemetry
-
-            self.rank_telemetries = [Telemetry() for _ in range(decomp.size)]
+            local_factory = None  # programs build their own recording backends
         else:
-            self.rank_telemetries = None
-        # per-rank extended grids / states / RHS evaluators
-        self._rank_rhs = []
-        self._rank_state = []
-        self._filters = []
-        for rank in range(decomp.size):
-            rank_tel = (self.rank_telemetries[rank]
-                        if self.rank_telemetries is not None
-                        else self.telemetry)
-            ext_shape = self.halo.extended_shape(rank)
-            lengths = tuple(
-                dx * (n - 1) for dx, n in zip(self.spacings, ext_shape)
-            )
-            g = Grid(ext_shape, lengths, periodic=(False,) * grid.ndim)
-            st = State(mechanism, g)
-            self._rank_state.append(st)
-            self._rank_rhs.append(
-                CompressibleRHS(st, transport=transport, boundaries={},
-                                reacting=reacting, telemetry=rank_tel,
-                                engine=rhs_engine,
-                                reaction_delegate=delegate)
-            )
-            self._filters.append(
-                [
-                    FilterOperator(n, periodic=False, alpha=filter_alpha,
-                                   telemetry=rank_tel)
-                    for n in ext_shape
-                ]
-            )
+            def local_factory(rank):
+                return SolverRankProgram(rank, *per_rank_args[rank],
+                                         telemetry=self.telemetry)
+        world.start_programs(SolverRankProgram, per_rank_args,
+                             local_factory=local_factory)
         self.locals: list = [None] * decomp.size
         self.time = 0.0
         self.step_count = 0
         self._gstate = None  # lazy gathered-state view for health checks
         self._gstate_step = -1
         self.health = self._resolve_health(observability)
+
+    @classmethod
+    def from_config(cls, mechanism, grid, decomp, config, world=None,
+                    transport=None, reacting=True, **kwargs):
+        """Build from a :class:`~repro.core.config.SolverConfig`.
+
+        Maps the config fields the parallel solver understands —
+        ``scheme``, ``filter_interval``, ``filter_alpha``,
+        ``rhs_engine``, ``chem_load_balance``, ``observability``, and
+        ``transport`` (the communication backend, forwarded as
+        ``comm_transport``). Extra keyword arguments override.
+        """
+        from repro import telemetry as _telemetry
+
+        if config.telemetry is True:
+            tel = _telemetry.Telemetry()
+        elif config.telemetry is False:
+            tel = _telemetry.NULL_TELEMETRY
+        else:
+            tel = None
+        opts = dict(
+            scheme=config.scheme,
+            filter_interval=config.filter_interval,
+            filter_alpha=config.filter_alpha,
+            rhs_engine=config.rhs_engine,
+            chem_load_balance=config.chem_load_balance,
+            observability=config.observability,
+            telemetry=tel,
+            comm_transport=config.transport,
+        )
+        opts.update(kwargs)
+        return cls(mechanism, grid, decomp, world, transport=transport,
+                   reacting=reacting, **opts)
 
     # ------------------------------------------------------------------
     def set_state(self, global_u: np.ndarray) -> None:
@@ -222,31 +339,26 @@ class ParallelPeriodicSolver:
         return self.decomp.gather(self.locals, 1)
 
     def _rhs_all(self, t, locals_) -> list:
-        """Exchange + per-rank RHS; returns owned-interior dU/dt blocks."""
+        """Exchange + per-rank RHS; returns owned-interior dU/dt blocks.
+
+        The halo exchange stays in the driver (it is the communication
+        pattern under test); the per-rank RHS evaluations fan out over
+        the transport's execution plane — serial on the in-process
+        reference, one process per rank on the multiprocessing backend.
+        """
         extended = self.halo.exchange(locals_, leading_axes=1)
-        out = []
+        payloads = [(t, ext) for ext in extended]
+        if not self._defer:
+            return self.world.call_all("rhs_block", payloads)
+        # reaction sources were deferred: evaluate the owned interior
+        # cells through the balancer and add them exactly where the
+        # serial RHS would (du[species] += wdot_mass[:nt])
+        results = self.world.call_all("rhs_block_deferred", payloads)
+        out = [r[0] for r in results]
+        prims = [(r[1], r[2], r[3]) for r in results]
+        wdots = self.chemlb.production_rates(prims)
         for rank in range(self.decomp.size):
-            du_ext = self._rank_rhs[rank](t, extended[rank])
-            out.append(
-                np.ascontiguousarray(
-                    du_ext[self.halo.interior_slices(rank, leading_axes=1)]
-                )
-            )
-        if self.chemlb is not None:
-            # reaction sources were deferred: evaluate the owned interior
-            # cells through the balancer and add them exactly where the
-            # serial RHS would (du[species] += wdot_mass[:nt])
-            prims = []
-            for rank in range(self.decomp.size):
-                rho, T, Y = self._rank_rhs[rank].last_reaction_inputs
-                isl = self.halo.interior_slices(rank)
-                isl1 = self.halo.interior_slices(rank, leading_axes=1)
-                prims.append((rho[isl], T[isl], Y[isl1]))
-            wdots = self.chemlb.production_rates(prims)
-            for rank in range(self.decomp.size):
-                st = self._rank_state[rank]
-                nt = st.n_transported
-                out[rank][st.species_slice] += wdots[rank][:nt]
+            out[rank][self._species_slice] += wdots[rank][:self._n_transported]
         return out
 
     def step(self, dt: float) -> None:
@@ -269,13 +381,9 @@ class ParallelPeriodicSolver:
 
     def apply_filter(self) -> None:
         extended = self.halo.exchange(self.locals, leading_axes=1)
-        for rank in range(self.decomp.size):
-            ext = extended[rank]
-            for axis, filt in enumerate(self._filters[rank]):
-                filt.apply(ext, axis=1 + axis, out=ext)
-            self.locals[rank] = np.ascontiguousarray(
-                ext[self.halo.interior_slices(rank, leading_axes=1)]
-            )
+        self.locals = self.world.call_all(
+            "filter_block", [(ext,) for ext in extended]
+        )
 
     # -- observability ---------------------------------------------------
     @property
@@ -325,19 +433,48 @@ class ParallelPeriodicSolver:
             else:
                 self.step(dt)
 
+    @property
+    def rank_telemetries(self):
+        """Per-rank telemetry backends when reachable from the driver
+        (in-process transport with ``rank_telemetry=True``), else None —
+        on out-of-process transports use :meth:`fused_profile`, which
+        ships snapshots instead of live objects."""
+        programs = self.world.programs
+        if not self._rank_telemetry or programs is None:
+            return None
+        return [p.telemetry for p in programs]
+
     def fused_profile(self, root: int = 0, include_timers: bool = True):
         """Cross-rank fused profile of the per-rank kernel telemetry.
 
-        Ships every rank's snapshot to ``root`` over the simulated MPI
-        world and merges them (see :mod:`repro.observability.fusion`).
+        Snapshots every rank program's telemetry through the execution
+        plane, ships the snapshots to ``root`` over the transport (so
+        the gather traffic is message-logged exactly like a real TAU
+        merge), and fuses them (:mod:`repro.observability.fusion`).
         Requires ``rank_telemetry=True`` at construction.
         """
-        if self.rank_telemetries is None:
+        if not self._rank_telemetry:
             raise ValueError(
                 "fused_profile needs per-rank telemetry; construct the "
                 "solver with rank_telemetry=True"
             )
-        from repro.observability.fusion import fuse_solver_profiles
+        from repro.observability.fusion import (
+            collect_snapshot_dicts,
+            fuse_profiles,
+        )
 
-        return fuse_solver_profiles(self.world, self.rank_telemetries,
-                                    root=root, include_timers=include_timers)
+        snapshots = self.world.call_all("telemetry_snapshot")
+        snapshots = collect_snapshot_dicts(self.world, snapshots, root=root,
+                                           telemetry=self.telemetry)
+        return fuse_profiles(snapshots, include_timers=include_timers)
+
+    def close(self) -> None:
+        """Release the transport when this solver created it."""
+        if self._owns_world:
+            self.world.close()
+
+    def __enter__(self) -> "ParallelPeriodicSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -37,6 +37,11 @@ from repro.perfmodel.profiler import (
     profile_hybrid_run,
     rank_profile_from_telemetry,
 )
+from repro.perfmodel.transportmodel import (
+    predicted_transport_speedup,
+    transport_comparison,
+    transport_comparison_table,
+)
 
 __all__ = [
     "NodeModel",
@@ -57,4 +62,7 @@ __all__ = [
     "SimProfiler",
     "profile_hybrid_run",
     "rank_profile_from_telemetry",
+    "predicted_transport_speedup",
+    "transport_comparison",
+    "transport_comparison_table",
 ]

@@ -1,0 +1,98 @@
+"""Measured-vs-predicted speedup for the pluggable transport layer.
+
+The weak-scaling model (:mod:`repro.perfmodel.weakscaling`) predicts
+Fig 1's curves analytically; with the multiprocessing transport the
+same rank counts produce *measured* wall-clock, so the two can finally
+be compared on one axis. The prediction here is deliberately simple —
+an Amdahl split of the solver step into the per-rank RHS work the
+execution plane parallelizes and the driver-resident remainder (halo
+exchange, RK updates, inter-process payload copies), capped by the
+physical core count:
+
+    speedup(n) = 1 / ((1 - f) + f / min(n, cores))
+
+with ``f`` the parallel fraction. On a single-core host ``min(n,
+cores) = 1`` and the model predicts <= 1.0 — i.e. pure overhead —
+which is exactly what ``benchmarks/bench_transport.py`` reports there;
+the comparison table is honest about both directions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "predicted_transport_speedup",
+    "transport_comparison",
+    "transport_comparison_table",
+]
+
+#: default fraction of a solver step spent in per-rank RHS evaluation
+#: (measured on the reacting-H2 benchmark: chemistry + transport
+#: dominate; halo exchange, RK axpy, and payload copies make the rest)
+DEFAULT_PARALLEL_FRACTION = 0.85
+
+#: default per-call execution-plane overhead as a fraction of one
+#: rank's serial step time (pipe round-trip + shared-memory copies)
+DEFAULT_OVERHEAD_FRACTION = 0.05
+
+
+def predicted_transport_speedup(n_ranks: int, cpu_count: int,
+                                parallel_fraction: float = DEFAULT_PARALLEL_FRACTION,
+                                overhead_fraction: float = DEFAULT_OVERHEAD_FRACTION) -> float:
+    """Predicted wall-clock speedup of the multiprocessing transport
+    over the in-process reference at ``n_ranks`` ranks.
+
+    Amdahl with a physical-core cap plus a linear per-rank dispatch
+    overhead. ``n_ranks=1`` still pays the overhead (the driver ships
+    payloads to one worker), so the prediction is slightly below 1.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if cpu_count < 1:
+        raise ValueError("cpu_count must be >= 1")
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel_fraction must be in [0, 1]")
+    effective = min(n_ranks, cpu_count)
+    serial = 1.0 - parallel_fraction
+    t_parallel = serial + parallel_fraction / effective + overhead_fraction
+    return 1.0 / t_parallel
+
+
+def transport_comparison(measured: dict, cpu_count: int,
+                         parallel_fraction: float = DEFAULT_PARALLEL_FRACTION,
+                         overhead_fraction: float = DEFAULT_OVERHEAD_FRACTION) -> list:
+    """Rows comparing measured transport speedups against the model.
+
+    ``measured`` maps rank count -> measured speedup
+    (``t_inprocess / t_multiprocessing`` from
+    ``benchmarks/bench_transport.py``). Returns one dict per rank
+    count with ``ranks``, ``measured``, ``predicted``, and ``ratio``
+    (measured / predicted), sorted by rank count.
+    """
+    rows = []
+    for n in sorted(int(k) for k in measured):
+        pred = predicted_transport_speedup(
+            n, cpu_count, parallel_fraction=parallel_fraction,
+            overhead_fraction=overhead_fraction)
+        meas = float(measured[n] if n in measured else measured[str(n)])
+        rows.append({
+            "ranks": n,
+            "measured": meas,
+            "predicted": pred,
+            "ratio": meas / pred if pred > 0 else float("inf"),
+        })
+    return rows
+
+
+def transport_comparison_table(measured: dict, cpu_count: int, **kwargs) -> str:
+    """The measured-vs-predicted table docs/PARALLEL.md renders."""
+    rows = transport_comparison(measured, cpu_count, **kwargs)
+    header = f"{'ranks':>6s} {'measured':>10s} {'predicted':>10s} {'ratio':>7s}"
+    lines = [f"transport weak scaling ({cpu_count} cores)",
+             "-" * len(header), header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['ranks']:>6d} {r['measured']:>10.3f} "
+            f"{r['predicted']:>10.3f} {r['ratio']:>7.3f}"
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)

@@ -1,0 +1,550 @@
+"""Cross-transport conformance suite: the contract every backend passes.
+
+One shared battery — point-to-point ordering, tag matching, probe,
+collectives, gather_bytes, delayed delivery, rank failure, fault
+injection, message-log accounting, and the execution plane — runs
+against every registered transport backend. A new backend is done when
+this file passes for it; an unavailable backend (mpi4py without the
+package) skips with its reason, which is the CI transport lane's
+skip-with-reason output.
+
+Also here:
+* hypothesis property tests — random message schedules produce
+  identical :class:`~repro.parallel.comm.MessageLog` accounting and
+  identical payloads across the in-process and multiprocessing
+  backends,
+* the fault-injection matrix — drop/corrupt/delay/rank-failure
+  schedules replay deterministically (seeds 1, 7, 42) and raise the
+  same typed exceptions through the multiprocessing control plane.
+"""
+
+import os
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.comm import (
+    TRANSPORTS,
+    InProcessTransport,
+    TransportUnavailableError,
+    available_transports,
+    create_transport,
+    resolve_transport_name,
+    transport_unavailable_reason,
+)
+from repro.parallel.programs import EchoProgram, make_echo, make_failing
+from repro.resilience.errors import MessageNotFoundError, RankFailedError
+from repro.resilience.faults import FaultInjector
+
+pytestmark = pytest.mark.transport
+
+
+@pytest.fixture(params=TRANSPORTS)
+def make_world(request):
+    """Factory building worlds on one backend; skips when unavailable."""
+    name = request.param
+    reason = transport_unavailable_reason(name)
+    if reason is not None:
+        pytest.skip(f"{name}: {reason}")
+    made = []
+
+    def make(size, fault_injector=None):
+        try:
+            t = create_transport(name, size=size,
+                                 fault_injector=fault_injector)
+        except TransportUnavailableError as exc:
+            pytest.skip(f"{name}: {exc}")
+        made.append(t)
+        return t
+
+    make.transport_name = name
+    yield make
+    for t in made:
+        t.close()
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, make_world):
+        w = make_world(2)
+        w.comm(0).Send(np.arange(4.0), dest=1, tag=7)
+        np.testing.assert_array_equal(
+            w.comm(1).Recv(source=0, tag=7), np.arange(4.0))
+
+    def test_fifo_per_channel(self, make_world):
+        w = make_world(2)
+        for v in (1.0, 2.0, 3.0):
+            w.comm(0).Send(np.array([v]), dest=1, tag=0)
+        got = [w.comm(1).Recv(source=0, tag=0)[0] for _ in range(3)]
+        assert got == [1.0, 2.0, 3.0]
+
+    def test_tag_matching(self, make_world):
+        w = make_world(2)
+        w.comm(0).Send(np.array([10.0]), dest=1, tag=5)
+        w.comm(0).Send(np.array([20.0]), dest=1, tag=9)
+        # tags are independent channels: receive out of send order
+        assert w.comm(1).Recv(source=0, tag=9)[0] == 20.0
+        assert w.comm(1).Recv(source=0, tag=5)[0] == 10.0
+
+    def test_source_matching(self, make_world):
+        w = make_world(3)
+        w.comm(0).Send(np.array([1.0]), dest=2, tag=0)
+        w.comm(1).Send(np.array([2.0]), dest=2, tag=0)
+        assert w.comm(2).Recv(source=1, tag=0)[0] == 2.0
+        assert w.comm(2).Recv(source=0, tag=0)[0] == 1.0
+
+    def test_send_copies_buffer(self, make_world):
+        w = make_world(2)
+        buf = np.zeros(3)
+        w.comm(0).Send(buf, dest=1)
+        buf[:] = 9.0
+        np.testing.assert_array_equal(
+            w.comm(1).Recv(source=0), np.zeros(3))
+
+    def test_isend_equivalent_under_phases(self, make_world):
+        w = make_world(2)
+        w.comm(0).Isend(np.array([4.0]), dest=1, tag=3)
+        assert w.comm(1).Recv(source=0, tag=3)[0] == 4.0
+
+    def test_recv_without_message_raises(self, make_world):
+        w = make_world(2)
+        with pytest.raises(MessageNotFoundError, match="no pending message"):
+            w.comm(0).Recv(source=1, tag=0)
+
+    def test_probe_never_blocks(self, make_world):
+        w = make_world(2)
+        assert not w.comm(1).probe(source=0)
+        w.comm(0).Send(np.zeros(1), dest=1)
+        assert w.comm(1).probe(source=0)
+        assert not w.comm(1).probe(source=0, tag=4)
+
+    def test_invalid_ranks(self, make_world):
+        w = make_world(2)
+        with pytest.raises(ValueError):
+            w.comm(5)
+        with pytest.raises(ValueError):
+            w.comm(0).Send(np.zeros(1), dest=9)
+
+    def test_preserves_dtype_and_shape(self, make_world):
+        w = make_world(2)
+        a = np.arange(12, dtype=np.int64).reshape(3, 4)
+        w.comm(0).Send(a, dest=1, tag=2)
+        out = w.comm(1).Recv(source=0, tag=2)
+        assert out.dtype == a.dtype and out.shape == a.shape
+        np.testing.assert_array_equal(out, a)
+
+
+class TestCollectives:
+    def test_allreduce_sum_identity(self, make_world):
+        w = make_world(3)
+        results = [w.comm(r).allreduce_sum(r + 1) for r in range(3)]
+        assert results[2] == 6
+        assert results[:2] == [None, None]
+
+    def test_allreduce_max_identity(self, make_world):
+        w = make_world(4)
+        vals = [3.0, 7.5, -1.0, 2.0]
+        results = [w.comm(r).allreduce_max(vals[r]) for r in range(4)]
+        assert results[-1] == 7.5
+
+    def test_gather_bytes_round_trip(self, make_world):
+        w = make_world(3)
+        payloads = [b"rank0", b"rank1-data", b"r2"]
+        assert w.gather_bytes(payloads, root=0, tag=99) == payloads
+
+    def test_gather_bytes_nonzero_root(self, make_world):
+        w = make_world(3)
+        payloads = [b"a", b"bb", b"ccc"]
+        assert w.gather_bytes(payloads, root=2) == payloads
+
+    def test_gather_bytes_size_mismatch(self, make_world):
+        w = make_world(2)
+        with pytest.raises(ValueError, match="one payload per rank"):
+            w.gather_bytes([b"x"])
+
+
+class TestAccounting:
+    def test_log_totals(self, make_world):
+        w = make_world(3)
+        w.comm(0).Send(np.zeros(10), dest=1)
+        w.comm(1).Send(np.zeros(5), dest=2)
+        assert w.log.count == 2
+        assert w.log.total_bytes == 15 * 8
+        assert w.log.by_pair()[(0, 1)] == 80
+
+    def test_log_tuples_ordered(self, make_world):
+        w = make_world(2)
+        w.comm(0).Send(np.zeros(2), dest=1, tag=4)
+        w.comm(1).Send(np.zeros(3), dest=0, tag=6)
+        assert w.log.as_tuples() == [(0, 1, 4, 16), (1, 0, 6, 24)]
+
+    def test_gather_bytes_logged(self, make_world):
+        w = make_world(3)
+        w.gather_bytes([b"abc", b"de", b"f"], root=0, tag=11)
+        recs = [r for r in w.log.records if r.tag == 11]
+        assert len(recs) == 2  # non-root ranks only
+
+
+class TestRankFailure:
+    def test_failed_rank_refuses_send(self, make_world):
+        w = make_world(2)
+        w.fail_rank(1)
+        assert w.failed_ranks == {1}
+        with pytest.raises(RankFailedError):
+            w.comm(0).Send(np.zeros(1), dest=1)
+
+    def test_failed_rank_refuses_recv(self, make_world):
+        w = make_world(2)
+        w.comm(0).Send(np.zeros(1), dest=1)
+        w.fail_rank(1)
+        with pytest.raises(RankFailedError):
+            w.comm(1).Recv(source=0)
+
+    def test_fail_rank_out_of_range(self, make_world):
+        w = make_world(2)
+        with pytest.raises(ValueError):
+            w.fail_rank(7)
+
+
+class TestFaultInjection:
+    def test_drop(self, make_world):
+        inj = FaultInjector(seed=1)
+        inj.add("mpi.send", mode="drop", probability=1.0)
+        w = make_world(2, fault_injector=inj)
+        w.comm(0).Send(np.zeros(4), dest=1)
+        assert w.dropped == 1
+        assert not w.comm(1).probe(source=0)
+
+    def test_corrupt_changes_payload(self, make_world):
+        inj = FaultInjector(seed=7)
+        inj.add("mpi.send", mode="corrupt", probability=1.0)
+        w = make_world(2, fault_injector=inj)
+        a = np.zeros(16)
+        w.comm(0).Send(a, dest=1)
+        out = w.comm(1).Recv(source=0)
+        assert out.shape == a.shape
+        assert not np.array_equal(out, a)
+
+    def test_delayed_delivery(self, make_world):
+        inj = FaultInjector(seed=42)
+        inj.add("mpi.send", mode="delay", probability=1.0)
+        w = make_world(2, fault_injector=inj)
+        if w.name == "mpi4py":
+            pytest.skip("mpi4py delivers eagerly; no delay parking")
+        w.comm(0).Send(np.arange(3.0), dest=1, tag=8)
+        assert w.log.count == 1  # delayed messages are still logged
+        assert not w.comm(1).probe(source=0, tag=8)
+        assert w.deliver_delayed() == 1
+        np.testing.assert_array_equal(
+            w.comm(1).Recv(source=0, tag=8), np.arange(3.0))
+
+    def test_rank_failure_fault(self, make_world):
+        inj = FaultInjector(seed=1)
+        inj.add("mpi.send", mode="rank_failure", probability=1.0)
+        w = make_world(2, fault_injector=inj)
+        with pytest.raises(RankFailedError):
+            w.comm(0).Send(np.zeros(1), dest=1)
+        assert 0 in w.failed_ranks
+
+
+class TestExecutionPlane:
+    def test_programs_run_and_keep_state(self, make_world):
+        w = make_world(3)
+        w.start_programs(make_echo, [(float(r),) for r in range(3)])
+        assert w.call_all("bump") == [1, 1, 1]
+        assert w.call_all("bump") == [2, 2, 2]
+        idents = w.call_all("identity")
+        if getattr(w, "spmd", False):
+            assert len(idents) == 1
+        else:
+            assert idents == [(0, 0.0), (1, 1.0), (2, 2.0)]
+
+    def test_array_payloads_roundtrip(self, make_world):
+        w = make_world(2)
+        w.start_programs(make_echo, [(1.0,), (2.0,)])
+        arrs = [np.arange(6.0).reshape(2, 3) + r for r in range(2)]
+        res = w.call_all("scale", [(a, 3.0) for a in arrs])
+        for r, out in enumerate(res):
+            np.testing.assert_array_equal(out, arrs[r] * 3.0 + (r + 1.0))
+
+    def test_call_one(self, make_world):
+        w = make_world(2)
+        w.start_programs(make_echo, [(0.0,), (5.0,)])
+        rank = 0 if getattr(w, "spmd", False) else 1
+        a = np.random.default_rng(0).random(32)
+        out, checksum = w.call_one(rank, "roundtrip", a)
+        np.testing.assert_array_equal(out, a)
+        assert checksum == pytest.approx(float(a.sum()))
+
+    def test_call_before_start_raises(self, make_world):
+        w = make_world(2)
+        with pytest.raises(RuntimeError, match="start_programs"):
+            w.call_all("bump")
+
+    def test_typed_exceptions_propagate(self, make_world):
+        for kind, exc_type in [("value", ValueError),
+                               ("zero", ZeroDivisionError),
+                               ("rank", RankFailedError),
+                               ("message", MessageNotFoundError)]:
+            w = make_world(2)
+            w.start_programs(make_failing, [(0, kind), (0, kind)])
+            with pytest.raises(exc_type, match="deliberate"):
+                w.call_all("work")
+            w.close()
+
+    def test_failed_rank_program_refuses(self, make_world):
+        w = make_world(2)
+        w.start_programs(make_echo, [(0.0,), (0.0,)])
+        w.call_all("bump")
+        w.fail_rank(0)
+        with pytest.raises(RankFailedError):
+            w.call_all("bump")
+
+    def test_per_rank_args_size_mismatch(self, make_world):
+        w = make_world(3)
+        with pytest.raises(ValueError, match="per-rank args"):
+            w.start_programs(make_echo, [(0.0,)])
+
+
+class TestMultiprocessingIsolation:
+    """Properties specific to the out-of-process backend: ranks really
+    live in separate processes, and worker death maps to rank failure."""
+
+    @pytest.fixture(autouse=True)
+    def _require_mp(self):
+        reason = transport_unavailable_reason("multiprocessing")
+        if reason is not None:  # pragma: no cover - always available
+            pytest.skip(reason)
+
+    def test_ranks_run_in_distinct_processes(self):
+        with create_transport("multiprocessing", size=3) as w:
+            w.start_programs(make_echo, [(0.0,)] * 3)
+            pids = w.call_all("pid")
+            assert len(set(pids)) == 3
+            assert os.getpid() not in pids
+
+    def test_inprocess_runs_in_driver(self):
+        with create_transport("inprocess", size=3) as w:
+            w.start_programs(make_echo, [(0.0,)] * 3)
+            assert set(w.call_all("pid")) == {os.getpid()}
+
+    def test_worker_death_is_rank_failure(self):
+        with create_transport("multiprocessing", size=2) as w:
+            w.start_programs(make_echo, [(0.0,), (0.0,)])
+            w._workers[1].proc.terminate()
+            w._workers[1].proc.join()
+            with pytest.raises(RankFailedError):
+                w.call_all("bump")
+            assert 1 in w.failed_ranks
+
+    def test_pool_survives_program_exception(self):
+        with create_transport("multiprocessing", size=2) as w:
+            w.start_programs(make_failing, [(0, "value"), (0, "value")])
+            with pytest.raises(ValueError):
+                w.call_all("work")
+            w.start_programs(make_echo, [(0.0,), (0.0,)])
+            assert w.call_all("bump") == [1, 1]
+
+    def test_large_payload_growth(self):
+        with create_transport("multiprocessing", size=1) as w:
+            w.start_programs(make_echo, [(0.0,)])
+            big = np.random.default_rng(3).random((256, 256, 4))  # 2 MiB
+            out, _ = w.call_one(0, "roundtrip", big)
+            np.testing.assert_array_equal(out, big)
+
+    def test_message_plane_spawns_no_workers(self):
+        with create_transport("multiprocessing", size=4) as w:
+            w.comm(0).Send(np.zeros(8), dest=3)
+            w.comm(3).Recv(source=0)
+            assert w._workers is None
+
+
+class TestRegistry:
+    def test_resolve_explicit(self):
+        assert resolve_transport_name("inprocess") == "inprocess"
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport_name("carrier-pigeon")
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "multiprocessing")
+        assert resolve_transport_name() == "multiprocessing"
+        monkeypatch.delenv("REPRO_TRANSPORT")
+        assert resolve_transport_name() == "inprocess"
+
+    def test_available_contains_reference(self):
+        names = available_transports()
+        assert "inprocess" in names and "multiprocessing" in names
+
+    def test_default_is_inprocess(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        with create_transport(size=2) as w:
+            assert isinstance(w, InProcessTransport)
+            assert w.name == "inprocess"
+
+    def test_mpi4py_reason_or_available(self):
+        reason = transport_unavailable_reason("mpi4py")
+        if reason is not None:
+            assert "mpi4py" in reason
+        else:  # pragma: no cover - environment-dependent
+            assert "mpi4py" in available_transports()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random schedules behave identically across backends
+# ---------------------------------------------------------------------------
+_send_op = st.tuples(
+    st.integers(min_value=0, max_value=2),   # source
+    st.integers(min_value=0, max_value=2),   # dest
+    st.integers(min_value=0, max_value=4),   # tag
+    st.integers(min_value=1, max_value=64),  # length
+)
+
+
+def _both_worlds(size=3, seed=None):
+    worlds = []
+    for name in ("inprocess", "multiprocessing"):
+        inj = FaultInjector(seed=seed) if seed is not None else None
+        worlds.append(create_transport(name, size=size, fault_injector=inj))
+    return worlds
+
+
+class TestScheduleEquivalence:
+    @given(schedule=st.lists(_send_op, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_logs_and_payloads_identical(self, schedule):
+        w_in, w_mp = _both_worlds()
+        try:
+            for i, (src, dst, tag, n) in enumerate(schedule):
+                payload = np.arange(n, dtype=float) + i
+                w_in.comm(src).Send(payload, dest=dst, tag=tag)
+                w_mp.comm(src).Send(payload, dest=dst, tag=tag)
+            assert w_in.log.as_tuples() == w_mp.log.as_tuples()
+            assert w_in.pending_messages() == w_mp.pending_messages()
+            for src, dst, tag, _ in schedule:
+                got_in = w_in.comm(dst).Recv(source=src, tag=tag)
+                got_mp = w_mp.comm(dst).Recv(source=src, tag=tag)
+                np.testing.assert_array_equal(got_in, got_mp)
+        finally:
+            w_in.close()
+            w_mp.close()
+
+    @given(
+        schedule=st.lists(_send_op, min_size=1, max_size=20),
+        seed=st.sampled_from([1, 7, 42]),
+        p_drop=st.sampled_from([0.0, 0.3, 0.7]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_faulty_schedules_identical(self, schedule, seed, p_drop):
+        w_in, w_mp = _both_worlds(seed=seed)
+        try:
+            for w in (w_in, w_mp):
+                w.faults.add("mpi.send", mode="drop", probability=p_drop)
+                w.faults.add("mpi.send", mode="corrupt",
+                             probability=0.5 * p_drop)
+            for i, (src, dst, tag, n) in enumerate(schedule):
+                payload = np.arange(n, dtype=float) + i
+                w_in.comm(src).Send(payload, dest=dst, tag=tag)
+                w_mp.comm(src).Send(payload, dest=dst, tag=tag)
+            assert w_in.dropped == w_mp.dropped
+            assert w_in.log.as_tuples() == w_mp.log.as_tuples()
+            for src, dst, tag, _ in schedule:
+                if w_in.comm(dst).probe(source=src, tag=tag):
+                    assert w_mp.comm(dst).probe(source=src, tag=tag)
+                    np.testing.assert_array_equal(
+                        w_in.comm(dst).Recv(source=src, tag=tag),
+                        w_mp.comm(dst).Recv(source=src, tag=tag))
+                else:
+                    assert not w_mp.comm(dst).probe(source=src, tag=tag)
+        finally:
+            w_in.close()
+            w_mp.close()
+
+
+# ---------------------------------------------------------------------------
+# fault-injection matrix: deterministic replay, seeds {1, 7, 42}
+# ---------------------------------------------------------------------------
+FAULT_SEEDS = (1, 7, 42)
+
+
+def _faulty_run(name, seed):
+    """One fixed message schedule under a mixed fault recipe; returns
+    the observables a replay must reproduce exactly."""
+    inj = FaultInjector(seed=seed)
+    inj.add("mpi.send", mode="drop", probability=0.25)
+    inj.add("mpi.send", mode="corrupt", probability=0.2)
+    inj.add("mpi.send", mode="delay", probability=0.2)
+    w = create_transport(name, size=4, fault_injector=inj)
+    try:
+        received = []
+        for i in range(40):
+            src, dst, tag = i % 4, (i + 1) % 4, i % 3
+            w.comm(src).Send(np.full(8, float(i)), dest=dst, tag=tag)
+        w.deliver_delayed()
+        for i in range(40):
+            src, dst, tag = i % 4, (i + 1) % 4, i % 3
+            while w.comm(dst).probe(source=src, tag=tag):
+                received.append(w.comm(dst).Recv(source=src, tag=tag).copy())
+        return {
+            "log": w.log.as_tuples(),
+            "dropped": w.dropped,
+            # crc of raw bytes: corrupt faults can make NaN payloads,
+            # and NaN != NaN would break a float-sum digest
+            "payload_digest": [zlib.crc32(a.tobytes()) for a in received],
+        }
+    finally:
+        w.close()
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_replay_deterministic_inprocess(self, seed):
+        assert _faulty_run("inprocess", seed) == _faulty_run("inprocess", seed)
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_replay_identical_across_backends(self, seed):
+        assert (_faulty_run("inprocess", seed)
+                == _faulty_run("multiprocessing", seed))
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_rank_failure_same_typed_exception(self, seed):
+        outcomes = []
+        for name in ("inprocess", "multiprocessing"):
+            inj = FaultInjector(seed=seed)
+            inj.add("mpi.send", mode="rank_failure", probability=0.15,
+                    rank=2)
+            w = create_transport(name, size=4, fault_injector=inj)
+            try:
+                sent = 0
+                failed_at = None
+                for i in range(60):
+                    try:
+                        w.comm(i % 4).Send(np.zeros(4), dest=(i + 1) % 4)
+                        sent += 1
+                    except RankFailedError:
+                        failed_at = i
+                        break
+                outcomes.append((sent, failed_at, tuple(w.failed_ranks)))
+            finally:
+                w.close()
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][2] == (2,)
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_worker_exception_types_match_inprocess(self, seed):
+        """The mp control plane re-raises the same types the in-process
+        backend raises for the same failing programs."""
+        rng = np.random.default_rng(seed)
+        kind = ["value", "zero", "rank", "message"][int(rng.integers(4))]
+        raised = []
+        for name in ("inprocess", "multiprocessing"):
+            w = create_transport(name, size=2)
+            try:
+                w.start_programs(make_failing, [(1, kind), (1, kind)])
+                with pytest.raises(Exception) as excinfo:
+                    w.call_all("work")
+                raised.append((type(excinfo.value).__name__,
+                               str(excinfo.value)))
+            finally:
+                w.close()
+        assert raised[0] == raised[1]
