@@ -126,6 +126,17 @@ class SolverConfig:
         :class:`~repro.parallel.solver.ParallelPeriodicSolver`; the
         serial solver has no ranks to place and ignores it. Distinct
         from the *molecular* transport model passed to the RHS.
+    parallel_recovery:
+        Rank-failure recovery policy for supervised parallel runs:
+        ``"off"`` (plain run, bit-identical, no checkpoint traffic, the
+        default), ``"respawn"`` (revive dead ranks and replay from the
+        newest committed distributed checkpoint), or ``"shrink"``
+        (re-decompose over the survivors and continue); ``None`` defers
+        to the ``REPRO_PARALLEL_RECOVERY`` environment switch (see
+        :data:`repro.resilience.distributed.RECOVERY_POLICIES`).
+        Consumed by
+        :meth:`~repro.parallel.solver.ParallelPeriodicSolver.run_resilient`;
+        the serial solver's supervisor is :func:`repro.resilience.run_resilient`.
     """
 
     boundaries: dict = field(default_factory=dict)
@@ -139,6 +150,7 @@ class SolverConfig:
     observability: object = None
     chem_load_balance: str | None = None
     transport: str | None = None
+    parallel_recovery: str | None = None
 
     def validate(self, grid) -> None:
         """Cross-check the boundary map against the grid."""
@@ -179,6 +191,10 @@ class SolverConfig:
             from repro.parallel.comm import resolve_transport_name
 
             resolve_transport_name(self.transport)  # raises on unknown name
+        if self.parallel_recovery is not None:
+            from repro.resilience.distributed import resolve_recovery_policy
+
+            resolve_recovery_policy(self.parallel_recovery)  # raises on unknown
 
 
 def resolve_face_value(value, t: float):

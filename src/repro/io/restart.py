@@ -10,6 +10,7 @@ system.
 
 from __future__ import annotations
 
+import json
 import zlib
 
 import numpy as np
@@ -219,6 +220,179 @@ def verify_solver_state(fs, path: str) -> dict:
         "shape": tuple(int(x) for x in header[_FIXED_HEAD:_FIXED_HEAD + ndim]),
         "nbytes": nbytes,
     }
+
+
+# ---------------------------------------------------------------------------
+# rank-sharded restart (distributed checkpointing, format v2 extension)
+# ---------------------------------------------------------------------------
+#: magic of one rank's shard of a distributed conserved-state checkpoint
+_SHARD_MAGIC = 0x53334453  # "S3DS"
+
+
+def save_state_shard(fs, path: str, step: int, time: float, u_block,
+                     cache_block=None, telemetry=None, retry=None) -> None:
+    """Write one rank's shard of a distributed conserved-state checkpoint.
+
+    The layout mirrors restart format v2 (:func:`save_solver_state`)
+    with a shard magic: int64 header ``[magic, version, step, nvar,
+    ndim, *local_shape, payload_nbytes, tcache_flag, crc32]``, float64
+    time, the rank's owned conserved block in C order, then (when
+    present) the rank's owned-interior Newton temperature cache. The
+    CRC covers everything after the header, so a torn shard write is
+    detected before any rank installs it.
+    """
+    tel = resolve_telemetry(telemetry)
+    u = np.ascontiguousarray(u_block, dtype=np.float64)
+    body = u.tobytes()
+    if cache_block is not None:
+        cache = np.ascontiguousarray(cache_block, dtype=np.float64)
+        if cache.shape != u.shape[1:]:
+            raise ValueError(
+                f"cache shape {cache.shape} does not match block interior "
+                f"{u.shape[1:]}"
+            )
+        cache_bytes = cache.tobytes()
+    else:
+        cache_bytes = b""
+    blob = np.float64(time).tobytes() + body + cache_bytes
+    header = np.array(
+        [_SHARD_MAGIC, _RESTART_VERSION, int(step), u.shape[0], u.ndim - 1]
+        + list(u.shape[1:])
+        + [len(body), 1 if cache_bytes else 0, zlib.crc32(blob)],
+        dtype=np.int64,
+    )
+    payload = header.tobytes() + blob
+    policy = retry if retry is not None else DEFAULT_RETRY
+    sleep = fs_backoff_sleep(fs)
+    policy.call(fs.open, path, n_clients=1, label=f"open:{path}",
+                telemetry=tel, sleep=sleep)
+    policy.call(fs.phase_write, [WriteRequest(0, path, 0, payload)],
+                label=f"write:{path}", telemetry=tel, sleep=sleep)
+    tel.counter("io.restart.bytes").inc(len(payload))
+
+
+def _parse_shard(fs, path: str, with_arrays: bool):
+    if not fs.exists(path):
+        raise FileNotFoundError(path)
+    fixed = np.frombuffer(fs.read(path, 0, 8 * _FIXED_HEAD), dtype=np.int64)
+    if len(fixed) < _FIXED_HEAD or fixed[0] != _SHARD_MAGIC:
+        raise RestartCorruptionError(
+            f"{path!r} is not a conserved-state shard "
+            f"(magic {int(fixed[0]) if len(fixed) else 0:#x})"
+        )
+    if fixed[1] != _RESTART_VERSION:
+        raise RestartCorruptionError(
+            f"{path!r}: unsupported shard format version {int(fixed[1])} "
+            f"(expected {_RESTART_VERSION})"
+        )
+    step, nvar, ndim = int(fixed[2]), int(fixed[3]), int(fixed[4])
+    if not 1 <= ndim <= 3 or nvar < 1:
+        raise RestartCorruptionError(
+            f"{path!r}: corrupt header (nvar = {nvar}, ndim = {ndim})"
+        )
+    n_head = _FIXED_HEAD + ndim + 3
+    header = np.frombuffer(fs.read(path, 0, 8 * n_head), dtype=np.int64)
+    shape = tuple(int(x) for x in header[_FIXED_HEAD:_FIXED_HEAD + ndim])
+    nbytes, has_cache, crc = (int(header[n_head - 3]), int(header[n_head - 2]),
+                              int(header[n_head - 1]))
+    if has_cache not in (0, 1):
+        raise RestartCorruptionError(
+            f"{path!r}: corrupt header (tcache flag = {has_cache})"
+        )
+    expected = 8 * nvar * int(np.prod(shape))
+    if nbytes != expected:
+        raise RestartCorruptionError(
+            f"{path!r}: payload length {nbytes} does not match block shape "
+            f"{(nvar,) + shape} ({expected} bytes)"
+        )
+    cache_nbytes = (nbytes // nvar) if has_cache else 0
+    total = 8 * (n_head + 1) + nbytes + cache_nbytes
+    if fs.file_size(path) < total:
+        raise RestartCorruptionError(
+            f"{path!r} is truncated: {fs.file_size(path)} bytes on disk, "
+            f"{total} expected"
+        )
+    blob = fs.read(path, 8 * n_head, 8 + nbytes + cache_nbytes)
+    if zlib.crc32(blob) != crc & 0xFFFFFFFF:
+        raise RestartCorruptionError(
+            f"{path!r}: payload checksum mismatch "
+            f"(stored {crc:#010x}, computed {zlib.crc32(blob):#010x})"
+        )
+    out = {"step": step, "nvar": nvar, "shape": shape, "nbytes": nbytes,
+           "has_cache": bool(has_cache)}
+    if with_arrays:
+        out["time"] = float(np.frombuffer(blob[:8], dtype=np.float64)[0])
+        flat = np.frombuffer(blob[8:8 + nbytes], dtype=np.float64)
+        out["u"] = flat.reshape((nvar,) + shape).copy()
+        if has_cache:
+            cache = np.frombuffer(blob[8 + nbytes:], dtype=np.float64)
+            out["cache"] = cache.reshape(shape).copy()
+        else:
+            out["cache"] = None
+    return out
+
+
+def load_state_shard(fs, path: str) -> dict:
+    """Read back one shard written by :func:`save_state_shard`.
+
+    Validates magic, version, shape consistency, truncation, and the
+    payload CRC before deserializing; returns ``{"step", "time", "u",
+    "cache", ...}`` with ``u`` of shape ``(nvar, *local_shape)`` and
+    ``cache`` the interior Newton temperature cache or None.
+    """
+    return _parse_shard(fs, path, with_arrays=True)
+
+
+def verify_state_shard(fs, path: str) -> dict:
+    """Integrity-check a shard without materializing its arrays."""
+    return _parse_shard(fs, path, with_arrays=False)
+
+
+def write_checkpoint_manifest(fs, path: str, meta: dict, telemetry=None,
+                              retry=None) -> None:
+    """Write a distributed-checkpoint manifest (canonical JSON + CRC).
+
+    The manifest is the commit record of the two-phase distributed
+    checkpoint protocol: it is written only after every shard has been
+    verified and renamed into place, and its own integrity is guarded
+    by a CRC32 over the canonical JSON encoding (sorted keys, compact
+    separators) of everything except the ``crc`` field itself.
+    """
+    tel = resolve_telemetry(telemetry)
+    doc = {k: v for k, v in meta.items() if k != "crc"}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    doc["crc"] = zlib.crc32(blob.encode())
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    policy = retry if retry is not None else DEFAULT_RETRY
+    sleep = fs_backoff_sleep(fs)
+    policy.call(fs.open, path, n_clients=1, label=f"open:{path}",
+                telemetry=tel, sleep=sleep)
+    policy.call(fs.phase_write, [WriteRequest(0, path, 0, payload)],
+                label=f"write:{path}", telemetry=tel, sleep=sleep)
+
+
+def read_checkpoint_manifest(fs, path: str) -> dict:
+    """Read and CRC-validate a manifest written by
+    :func:`write_checkpoint_manifest`; raises
+    :class:`RestartCorruptionError` on tampering or truncation."""
+    if not fs.exists(path):
+        raise FileNotFoundError(path)
+    raw = fs.read(path, 0, fs.file_size(path))
+    try:
+        doc = json.loads(raw.decode())
+    except (ValueError, UnicodeDecodeError) as err:
+        raise RestartCorruptionError(
+            f"{path!r}: manifest is not parseable JSON ({err})"
+        ) from err
+    if not isinstance(doc, dict) or "crc" not in doc:
+        raise RestartCorruptionError(f"{path!r}: manifest has no CRC field")
+    crc = doc.pop("crc")
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(blob.encode()) != int(crc) & 0xFFFFFFFF:
+        raise RestartCorruptionError(
+            f"{path!r}: manifest checksum mismatch"
+        )
+    return doc
 
 
 def checkpoint_state(fs, checkpoint, solver, checkpoint_id: int,

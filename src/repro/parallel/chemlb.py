@@ -355,6 +355,22 @@ class ChemistryLoadBalancer:
         self._stiffness = None
         self._stiff_scale = 0.0
 
+    def rebind(self, world) -> None:
+        """Re-attach to a new transport world (the shrink recovery
+        path): the cost model is re-seeded for the new rank count —
+        per-rank timings are resized and zeroed, the stiffness history
+        and the last plan are dropped — while the policy, threshold,
+        and per-cell cost model carry over. Every policy stays bitwise
+        identical to ``off``, so re-planning from a cold model after a
+        shrink cannot perturb the solution."""
+        if world.size < 1:
+            raise ValueError("world must have at least one rank")
+        self.world = world
+        self.rank_seconds = np.zeros(world.size)
+        self.reset_history()
+        self.last_plan = None
+        self._eval_seq = 0
+
     def _normalized_stiffness(self, ncells: list) -> list:
         if self._stiffness is None or [len(s) for s in self._stiffness] != ncells:
             return [np.zeros(n) for n in ncells]

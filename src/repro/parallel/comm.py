@@ -44,8 +44,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.resilience.errors import MessageNotFoundError, RankFailedError
+from repro.resilience.errors import (
+    MessageNotFoundError,
+    RankFailedError,
+    RankUnresponsiveError,
+)
 from repro.resilience.faults import resolve_injector
+from repro.telemetry import resolve as resolve_telemetry
 
 __all__ = [
     "ENV_VAR",
@@ -166,6 +171,16 @@ class RankComm:
 SimComm = RankComm
 
 
+def _annotate_rank(exc: BaseException, rank: int) -> None:
+    """Attach the originating rank to a program exception (best effort:
+    some exception types forbid new attributes)."""
+    try:
+        if getattr(exc, "rank", None) is None:
+            exc.rank = rank
+    except Exception:
+        pass
+
+
 class Transport:
     """Abstract communication + execution backend for a world of ranks.
 
@@ -240,6 +255,19 @@ class Transport:
 
     @property
     def failed_ranks(self) -> set:
+        raise NotImplementedError
+
+    def revive_ranks(self, ranks) -> None:
+        """Bring failed ranks back (the respawn recovery path): clear
+        their failed flags and restart their rank programs fresh —
+        callers must reinstall any program state from a checkpoint."""
+        raise NotImplementedError
+
+    def reset_channels(self) -> None:
+        """Purge in-flight message-plane state (mailboxes, pending
+        collectives, parked delayed messages) after a mid-exchange
+        failure, so a recovered run does not consume stale halo
+        traffic from the abandoned step."""
         raise NotImplementedError
 
     # -- collectives built on the point-to-point plane ---------------------
@@ -336,11 +364,12 @@ class InProcessTransport(Transport):
 
     name = "inprocess"
 
-    def __init__(self, size: int, fault_injector=None):
+    def __init__(self, size: int, fault_injector=None, telemetry=None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = int(size)
         self.faults = resolve_injector(fault_injector)
+        self.telemetry = resolve_telemetry(telemetry)
         self._mailboxes: dict = defaultdict(deque)
         self.log = MessageLog()
         self._collect_buf: dict = {}
@@ -348,6 +377,7 @@ class InProcessTransport(Transport):
         self._delayed: list = []  # (dest, source, tag, array)
         self.dropped = 0
         self._programs: list | None = None
+        self._build = None  # per-rank program builder, kept for revival
 
     # -- rank failure ------------------------------------------------------
     def fail_rank(self, rank: int) -> None:
@@ -361,6 +391,23 @@ class InProcessTransport(Transport):
     @property
     def failed_ranks(self) -> set:
         return set(self._failed_ranks)
+
+    def revive_ranks(self, ranks) -> None:
+        """Clear failed flags and rebuild the ranks' programs from the
+        builder captured at :meth:`start_programs`; revived programs
+        start cold, so the caller reinstalls state from a checkpoint."""
+        for rank in ranks:
+            if not 0 <= rank < self.size:
+                raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        for rank in sorted(set(int(r) for r in ranks)):
+            self._failed_ranks.discard(rank)
+            if self._programs is not None and self._build is not None:
+                self._programs[rank] = self._build(rank)
+
+    def reset_channels(self) -> None:
+        self._mailboxes.clear()
+        self._collect_buf.clear()
+        self._delayed.clear()
 
     def _check_alive(self, rank: int, role: str) -> None:
         if rank in self._failed_ranks:
@@ -465,6 +512,7 @@ class InProcessTransport(Transport):
         build = local_factory if local_factory is not None else (
             lambda rank: factory(rank, *args[rank])
         )
+        self._build = build
         self._programs = [build(rank) for rank in range(self.size)]
 
     def _require_programs(self) -> list:
@@ -473,6 +521,30 @@ class InProcessTransport(Transport):
                 "no rank programs started; call start_programs() first"
             )
         return self._programs
+
+    def _decide_exec_fault(self):
+        """Consult the ``exec.call`` fault site once per collective call.
+
+        ``rank_failure`` kills the victim rank (``detail={"rank": r}``,
+        default 0) and raises :class:`RankFailedError`; ``hang`` models
+        a worker that stops answering — the victim is failed and a
+        :class:`RankUnresponsiveError` surfaces, the same typed error a
+        real missed heartbeat produces on out-of-process backends.
+        """
+        if not self.faults.enabled:
+            return ()
+        spec = self.faults.decide("exec.call")
+        if spec is None:
+            return ()
+        victim = int(spec.detail.get("rank", 0)) % self.size
+        self.fail_rank(victim)
+        if spec.mode == "hang":
+            raise RankUnresponsiveError(
+                f"rank {victim} stopped responding during a collective call"
+            )
+        raise RankFailedError(
+            f"rank {victim} died during a collective call"
+        )
 
     def call_all(self, method: str, payloads=None) -> list:
         """Invoke ``method`` on every rank's program, serially in rank
@@ -486,17 +558,26 @@ class InProcessTransport(Transport):
             )
         for rank in range(self.size):
             self._check_alive(rank, "executing")
-        return [
-            getattr(programs[rank], method)(*payloads[rank])
-            for rank in range(self.size)
-        ]
+        self._decide_exec_fault()
+        out = []
+        for rank in range(self.size):
+            try:
+                out.append(getattr(programs[rank], method)(*payloads[rank]))
+            except BaseException as exc:
+                _annotate_rank(exc, rank)
+                raise
+        return out
 
     def call_one(self, rank: int, method: str, *args):
         programs = self._require_programs()
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range [0, {self.size})")
         self._check_alive(rank, "executing")
-        return getattr(programs[rank], method)(*args)
+        try:
+            return getattr(programs[rank], method)(*args)
+        except BaseException as exc:
+            _annotate_rank(exc, rank)
+            raise
 
     @property
     def programs(self):
@@ -553,7 +634,8 @@ def create_transport(name: str | None = None, size: int = 1,
     """
     name = resolve_transport_name(name)
     if name == "inprocess":
-        return InProcessTransport(size, fault_injector=fault_injector)
+        return InProcessTransport(size, fault_injector=fault_injector,
+                                  **kwargs)
     if name == "multiprocessing":
         from repro.parallel.shm import MultiprocessingTransport
 

@@ -32,6 +32,7 @@ from repro.parallel.comm import (
 )
 from repro.resilience.errors import MessageNotFoundError, RankFailedError
 from repro.resilience.faults import resolve_injector
+from repro.telemetry import resolve as resolve_telemetry
 
 __all__ = ["MPI4PyTransport", "mpi4py_unavailable_reason"]
 
@@ -72,7 +73,7 @@ class MPI4PyTransport(Transport):
     name = "mpi4py"
     spmd = True
 
-    def __init__(self, size: int = 1, fault_injector=None):
+    def __init__(self, size: int = 1, fault_injector=None, telemetry=None):
         reason = mpi4py_unavailable_reason()
         if reason is not None:
             raise TransportUnavailableError(reason)
@@ -80,6 +81,7 @@ class MPI4PyTransport(Transport):
 
         self._mpi = MPI
         self._world = MPI.COMM_WORLD
+        self.telemetry = resolve_telemetry(telemetry)
         self.size = self._world.Get_size()
         if size not in (1, self.size):
             raise TransportUnavailableError(
@@ -114,6 +116,20 @@ class MPI4PyTransport(Transport):
     @property
     def failed_ranks(self) -> set:
         return set(self._failed_ranks)
+
+    def revive_ranks(self, ranks) -> None:
+        """Advisory, like :meth:`fail_rank`: clears the local failed
+        marks. Real MPI cannot respawn a dead process mid-job; an
+        actual node loss needs a relaunch, which the advisory marks
+        survive long enough to coordinate."""
+        for rank in ranks:
+            if not 0 <= rank < self.size:
+                raise ValueError(f"rank {rank} out of range [0, {self.size})")
+            self._failed_ranks.discard(int(rank))
+
+    def reset_channels(self) -> None:
+        """No-op: real MPI owns the message queues; there is no
+        driver-side mailbox state to purge."""
 
     def _check_alive(self, rank: int, role: str) -> None:
         if rank in self._failed_ranks:

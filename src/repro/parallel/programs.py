@@ -11,12 +11,22 @@ factory ``f(rank, *args) -> program`` plus ordinary methods invoked via
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
 from repro.resilience.errors import MessageNotFoundError, RankFailedError
 
-__all__ = ["EchoProgram", "FailingProgram", "make_echo", "make_failing"]
+__all__ = [
+    "ChainedFailingProgram",
+    "EchoProgram",
+    "FailingProgram",
+    "SleeperProgram",
+    "make_chained",
+    "make_echo",
+    "make_failing",
+    "make_sleeper",
+]
 
 
 class EchoProgram:
@@ -78,6 +88,43 @@ class FailingProgram:
         return self.rank
 
 
+class ChainedFailingProgram:
+    """Raises a typed exception explicitly chained from a root cause
+    (``raise ... from ...``) — exercises ``__cause__``-chain and
+    originating-rank propagation fidelity across transports, so
+    recovery decisions see the real failure site."""
+
+    def __init__(self, rank: int, failing_rank: int = 0):
+        self.rank = rank
+        self.failing_rank = failing_rank
+
+    def work(self):
+        if self.rank == self.failing_rank:
+            try:
+                raise KeyError("missing chemistry table entry")
+            except KeyError as root:
+                raise ValueError(
+                    f"rank {self.rank} failed to assemble reaction rates"
+                ) from root
+        return self.rank
+
+
+class SleeperProgram:
+    """Blocks one rank for a configurable time — the genuine-hang probe
+    the heartbeat/deadline liveness detection must catch."""
+
+    def __init__(self, rank: int, sleeping_rank: int = 0,
+                 seconds: float = 30.0):
+        self.rank = rank
+        self.sleeping_rank = sleeping_rank
+        self.seconds = float(seconds)
+
+    def work(self):
+        if self.rank == self.sleeping_rank:
+            time.sleep(self.seconds)
+        return self.rank
+
+
 def make_echo(rank: int, base: float = 0.0) -> EchoProgram:
     return EchoProgram(rank, base)
 
@@ -85,3 +132,12 @@ def make_echo(rank: int, base: float = 0.0) -> EchoProgram:
 def make_failing(rank: int, failing_rank: int = 0,
                  kind: str = "value") -> FailingProgram:
     return FailingProgram(rank, failing_rank, kind)
+
+
+def make_chained(rank: int, failing_rank: int = 0) -> ChainedFailingProgram:
+    return ChainedFailingProgram(rank, failing_rank)
+
+
+def make_sleeper(rank: int, sleeping_rank: int = 0,
+                 seconds: float = 30.0) -> SleeperProgram:
+    return SleeperProgram(rank, sleeping_rank, seconds)

@@ -24,29 +24,38 @@ per-call overhead to one ``send``/``recv`` pair per worker.
 
 Failure semantics
 -----------------
-Exceptions raised inside a rank program are shipped back as
-(module, qualname, message) and re-raised in the driver with their
-original type when that type is importable (the resilience taxonomy —
+Exceptions raised inside a rank program are shipped back as a typed
+identity record — module, qualname, message, originating rank, and the
+``__cause__`` chain — and re-raised in the driver with their original
+type when that type is importable (the resilience taxonomy —
 :class:`~repro.resilience.errors.RankFailedError`,
 :class:`~repro.resilience.errors.MessageNotFoundError`, … — always is),
-so fault handling code behaves identically on every transport. A worker
-process that dies marks its rank failed and raises
-:class:`WorkerCrashedError`, a :class:`RankFailedError` subclass.
+so fault handling code behaves identically on every transport and sees
+the real failure site (``exc.rank``) and root cause. A worker process
+that dies marks its rank failed and raises :class:`WorkerCrashedError`,
+a :class:`RankFailedError` subclass; a worker that misses the optional
+heartbeat deadline (``heartbeat=`` / ``REPRO_HEARTBEAT``) is killed and
+surfaces as :class:`~repro.resilience.errors.RankUnresponsiveError`
+instead of blocking the driver forever.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
+import time
+import warnings
 import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.parallel.comm import InProcessTransport
-from repro.resilience.errors import RankFailedError
+from repro.parallel.comm import InProcessTransport, _annotate_rank
+from repro.resilience.errors import RankFailedError, RankUnresponsiveError
 
 __all__ = [
+    "HEARTBEAT_ENV",
     "MultiprocessingTransport",
     "WorkerCrashedError",
     "WorkerError",
@@ -54,6 +63,13 @@ __all__ = [
 
 #: initial per-direction SharedMemory segment size [bytes]
 INITIAL_SEGMENT = 1 << 20
+
+#: environment switch for the worker heartbeat deadline [seconds]
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+
+#: warn-once flag for CPU oversubscription (module-level: one warning
+#: per process, however many transports are built)
+_OVERSUB_WARNED = False
 
 #: array offsets inside a segment are aligned to this many bytes
 ALIGN = 64
@@ -120,8 +136,31 @@ def _read_specs(specs, shm, copy: bool):
     return out
 
 
-def _rebuild_exception(module: str, qualname: str, message: str):
-    """Re-raise-able exception instance from its shipped identity."""
+#: maximum ``__cause__`` chain depth shipped back to the driver
+_MAX_CAUSE_DEPTH = 4
+
+
+def _exc_info(exc: BaseException, rank: int, depth: int = 0) -> dict:
+    """Picklable identity record of a worker exception, including its
+    ``__cause__`` chain and originating rank."""
+    info = {
+        "module": type(exc).__module__,
+        "qualname": type(exc).__qualname__,
+        "message": str(exc),
+        "rank": rank,
+        "cause": None,
+    }
+    if exc.__cause__ is not None and depth < _MAX_CAUSE_DEPTH:
+        info["cause"] = _exc_info(exc.__cause__, rank, depth + 1)
+    return info
+
+
+def _rebuild_exception(info: dict):
+    """Re-raise-able exception instance from its shipped identity,
+    with the ``__cause__`` chain and originating rank restored."""
+    module, qualname = info["module"], info["qualname"]
+    message = info["message"]
+    exc = None
     if module == "builtins" or any(
         module == p or module.startswith(p) for p in _SAFE_EXC_PREFIXES
     ):
@@ -132,10 +171,16 @@ def _rebuild_exception(module: str, qualname: str, message: str):
             for part in qualname.split("."):
                 obj = getattr(obj, part)
             if isinstance(obj, type) and issubclass(obj, BaseException):
-                return obj(message)
+                exc = obj(message)
         except Exception:
-            pass
-    return WorkerError(f"{module}.{qualname}: {message}")
+            exc = None
+    if exc is None:
+        exc = WorkerError(f"{module}.{qualname}: {message}")
+    if info.get("cause") is not None:
+        exc.__cause__ = _rebuild_exception(info["cause"])
+    if info.get("rank") is not None:
+        _annotate_rank(exc, int(info["rank"]))
+    return exc
 
 
 # ---------------------------------------------------------------------------
@@ -146,8 +191,10 @@ def _worker_main(rank: int, conn) -> None:
 
     Runs in a spawned process. Messages (all pickled tuples on the
     pipe): ``("init", factory, args)``, ``("attach_in", name)``,
-    ``("call", method, specs)``, ``("close",)``. Replies: ``("ok",
-    kind, specs, out_name)`` or ``("error", module, qualname, text)``.
+    ``("call", method, specs)``, ``("hang", seconds)`` (sleep without
+    replying — the injected-hang probe the heartbeat deadline must
+    catch), ``("close",)``. Replies: ``("ok", kind, specs, out_name)``
+    or ``("error", info)`` with the exception identity record.
     """
     program = None
     shm_in = None
@@ -162,6 +209,11 @@ def _worker_main(rank: int, conn) -> None:
                 if shm_in is not None:
                     shm_in.close()
                 shm_in = shared_memory.SharedMemory(name=msg[1])
+                continue
+            if kind == "hang":
+                # injected hang: a reply is owed but never sent — the
+                # driver-side deadline is the only way out
+                time.sleep(float(msg[1]))
                 continue
             try:
                 if kind == "init":
@@ -194,8 +246,7 @@ def _worker_main(rank: int, conn) -> None:
                     name = shm_out.name
                 conn.send(("ok", out_kind, out_specs, name))
             except BaseException as exc:  # ship to driver, keep serving
-                conn.send(("error", type(exc).__module__,
-                           type(exc).__qualname__, str(exc)))
+                conn.send(("error", _exc_info(exc, rank)))
     finally:
         if shm_in is not None:
             shm_in.close()
@@ -257,38 +308,87 @@ class MultiprocessingTransport(InProcessTransport):
     context:
         Multiprocessing start method (default ``"spawn"`` — safe with
         threaded BLAS; ``"fork"``/``"forkserver"`` accepted).
+    heartbeat:
+        Liveness deadline in seconds for worker replies on the pipe
+        control plane. While a dispatched call is outstanding, a worker
+        that neither replies nor exits within this window is killed and
+        its rank surfaces as
+        :class:`~repro.resilience.errors.RankUnresponsiveError` — a
+        *hung* node becomes a typed, recoverable failure instead of
+        blocking the driver forever. ``None`` defers to the
+        ``REPRO_HEARTBEAT`` environment switch; 0 (the default)
+        disables the deadline. Program initialization is exempt (spawn
+        + import time is not a liveness signal).
+    telemetry:
+        Telemetry backend for transport-level gauges (e.g.
+        ``transport.oversubscribed``).
 
     Workers are lazy: a transport used only for its message plane (the
     conformance battery, halo exchanges, chemlb shipping) spawns no
     processes. The pool starts on the first :meth:`start_programs`.
+    Requesting more ranks than ``os.cpu_count()`` is allowed — ranks
+    time-share cores — but warns once per process and records the
+    excess in the ``transport.oversubscribed`` gauge.
     """
 
     name = "multiprocessing"
 
     def __init__(self, size: int, fault_injector=None,
-                 context: str = "spawn"):
-        super().__init__(size, fault_injector=fault_injector)
+                 context: str = "spawn", heartbeat: float | None = None,
+                 telemetry=None):
+        super().__init__(size, fault_injector=fault_injector,
+                         telemetry=telemetry)
         self._ctx = multiprocessing.get_context(context)
         self._workers: list | None = None
         self._closed = False
+        if heartbeat is None:
+            raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+            try:
+                heartbeat = float(raw) if raw else 0.0
+            except ValueError:
+                heartbeat = 0.0
+        self.heartbeat = float(heartbeat)
+        if self.heartbeat < 0:
+            raise ValueError("heartbeat deadline must be >= 0 seconds")
+        self._factory = None   # pickled program factory, kept for revival
+        self._args = None
         _LIVE.add(self)
 
     # -- pool lifecycle ----------------------------------------------------
+    def _spawn_worker(self, rank: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(rank, child_conn),
+            name=f"repro-transport-rank{rank}", daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(proc, parent_conn)
+
+    def _check_oversubscription(self) -> None:
+        global _OVERSUB_WARNED
+        ncpu = os.cpu_count() or 1
+        if self.size <= ncpu:
+            return
+        self.telemetry.gauge("transport.oversubscribed").set(
+            self.size - ncpu)
+        if not _OVERSUB_WARNED:
+            _OVERSUB_WARNED = True
+            warnings.warn(
+                f"multiprocessing transport oversubscribed: {self.size} "
+                f"ranks on {ncpu} usable CPU core(s); ranks will "
+                f"time-share cores and per-call latency grows "
+                f"accordingly",
+                RuntimeWarning, stacklevel=4,
+            )
+
     def _ensure_workers(self) -> list:
         if self._closed:
             raise RuntimeError("transport is closed")
         if self._workers is None:
-            workers = []
-            for rank in range(self.size):
-                parent_conn, child_conn = self._ctx.Pipe()
-                proc = self._ctx.Process(
-                    target=_worker_main, args=(rank, child_conn),
-                    name=f"repro-transport-rank{rank}", daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                workers.append(_WorkerHandle(proc, parent_conn))
-            self._workers = workers
+            self._check_oversubscription()
+            self._workers = [self._spawn_worker(rank)
+                             for rank in range(self.size)]
         return self._workers
 
     def close(self) -> None:
@@ -352,10 +452,27 @@ class MultiprocessingTransport(InProcessTransport):
         self.fail_rank(rank)
         h = self._workers[rank]
         h.busy = False
-        return WorkerCrashedError(
+        exc = WorkerCrashedError(
             f"worker process for rank {rank} died "
             f"(exitcode {h.proc.exitcode})"
         )
+        _annotate_rank(exc, rank)
+        return exc
+
+    def _hung(self, rank: int) -> RankUnresponsiveError:
+        """A worker missed the heartbeat deadline: kill it, fail the
+        rank, and hand back the typed liveness error."""
+        self.fail_rank(rank)
+        h = self._workers[rank]
+        h.busy = False
+        h.proc.kill()
+        h.proc.join(timeout=5.0)
+        exc = RankUnresponsiveError(
+            f"worker for rank {rank} missed the {self.heartbeat:g} s "
+            f"heartbeat deadline (process killed)"
+        )
+        _annotate_rank(exc, rank)
+        return exc
 
     def _dispatch(self, rank: int, method: str, args):
         """Send a call to rank's worker; returns None, or the
@@ -373,20 +490,111 @@ class MultiprocessingTransport(InProcessTransport):
         return None
 
     def _collect(self, rank: int):
-        """Wait for rank's reply; returns the result or the exception."""
+        """Wait for rank's reply; returns the result or the exception.
+
+        With a positive ``heartbeat`` and a dispatched call outstanding
+        (``h.busy``), the blocking receive becomes a poll loop against
+        a monotonic deadline: a worker that neither replies nor exits
+        in time is treated as hung (:meth:`_hung`). Initialization
+        replies are exempt — spawn and import time is not liveness.
+        """
         h = self._workers[rank]
         try:
+            if self.heartbeat > 0 and h.busy:
+                deadline = time.monotonic() + self.heartbeat
+                while not h.conn.poll(min(0.05, self.heartbeat)):
+                    if not h.proc.is_alive():
+                        break  # crashed: fall through to the EOF path
+                    if time.monotonic() >= deadline:
+                        return self._hung(rank)
             reply = h.conn.recv()
         except (EOFError, OSError):
             return self._crash(rank)
         h.busy = False
         if reply[0] == "error":
-            _, module, qualname, message = reply
-            return _rebuild_exception(module, qualname, message)
+            return _rebuild_exception(reply[1])
         _, kind, specs, out_name = reply
         shm = self._attach_out(h, out_name)
         parts = _read_specs(specs, shm, copy=True)
         return tuple(parts) if kind == "tuple" else parts[0]
+
+    # -- fault injection (real process-level effects) ----------------------
+    def _decide_exec_fault(self):
+        """``exec.call`` faults take their *real* effect here: a
+        ``rank_failure`` actually kills the victim's worker process (so
+        the genuine crash-detection path fires), and a ``hang`` with an
+        armed heartbeat makes the worker sleep through its deadline (so
+        the genuine liveness path fires). Without live workers or an
+        armed heartbeat, fall back to the driver-raised simulation of
+        the in-process reference.
+        """
+        if not self.faults.enabled:
+            return ()
+        spec = self.faults.decide("exec.call")
+        if spec is None:
+            return ()
+        victim = int(spec.detail.get("rank", 0)) % self.size
+        if spec.mode == "hang":
+            if self.heartbeat > 0 and self._workers is not None:
+                return (victim,)
+            self.fail_rank(victim)
+            raise RankUnresponsiveError(
+                f"rank {victim} stopped responding during a collective call"
+            )
+        if self._workers is not None:
+            h = self._workers[victim]
+            h.proc.kill()
+            h.proc.join(timeout=5.0)
+            return ()  # the crash surfaces through dispatch/collect
+        self.fail_rank(victim)
+        raise RankFailedError(
+            f"rank {victim} died during a collective call"
+        )
+
+    def _hang_worker(self, rank: int):
+        """Send the hang command instead of the scheduled call; the
+        worker owes a reply it will never send, so :meth:`_collect`
+        times out against the heartbeat deadline."""
+        h = self._workers[rank]
+        try:
+            h.conn.send(("hang", self.heartbeat * 8 + 1.0))
+        except (BrokenPipeError, OSError):
+            return self._crash(rank)
+        h.busy = True
+        return None
+
+    # -- revival -----------------------------------------------------------
+    def revive_ranks(self, ranks) -> None:
+        """Respawn the failed ranks' worker processes and re-initialize
+        their programs from the recipe captured at
+        :meth:`start_programs`; revived programs start cold, so the
+        caller reinstalls state from a checkpoint."""
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        for rank in ranks:
+            if not 0 <= rank < self.size:
+                raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        for rank in sorted(set(int(r) for r in ranks)):
+            self._failed_ranks.discard(rank)
+            if self._workers is None:
+                continue
+            h = self._workers[rank]
+            if h.proc.is_alive():
+                h.proc.kill()
+            h.proc.join(timeout=5.0)
+            try:
+                h.conn.close()
+            except OSError:
+                pass
+            h.release()
+            self._workers[rank] = self._spawn_worker(rank)
+            if self._programs is not None and self._factory is not None:
+                self._workers[rank].conn.send(
+                    ("init", self._factory, tuple(self._args[rank]))
+                )
+                got = self._collect(rank)
+                if isinstance(got, BaseException):
+                    raise got
 
     # -- execution plane ---------------------------------------------------
     def start_programs(self, factory, per_rank_args=None,
@@ -405,6 +613,10 @@ class MultiprocessingTransport(InProcessTransport):
                 f"need per-rank args for {self.size} ranks, got {len(args)}"
             )
         workers = self._ensure_workers()
+        # keep the picklable recipe: revive_ranks re-initializes a
+        # respawned worker from exactly what the original one got
+        self._factory = factory
+        self._args = [tuple(a) for a in args]
         crashed = [None] * self.size
         for rank in range(self.size):
             try:
@@ -448,10 +660,14 @@ class MultiprocessingTransport(InProcessTransport):
             )
         for rank in range(self.size):
             self._check_alive(rank, "executing")
+        hang = self._decide_exec_fault()
         results = [None] * self.size
         for rank in range(self.size):
-            results[rank] = self._dispatch(rank, method,
-                                           tuple(payloads[rank]))
+            if rank in hang:
+                results[rank] = self._hang_worker(rank)
+            else:
+                results[rank] = self._dispatch(rank, method,
+                                               tuple(payloads[rank]))
         for rank in range(self.size):
             if results[rank] is None:  # dispatched; drain the reply
                 results[rank] = self._collect(rank)

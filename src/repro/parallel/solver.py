@@ -109,6 +109,31 @@ class SolverRankProgram:
             filt.apply(ext, axis=1 + axis, out=ext)
         return np.ascontiguousarray(ext[self.interior1])
 
+    def cache_block(self):
+        """Owned-interior Newton temperature cache, or None when cold.
+
+        The cache is the only worker-resident numerical state a bit-
+        exact restart needs (the conserved blocks live driver-side):
+        the next temperature solve must start from the same initial
+        guess the uninterrupted run would have used.
+        """
+        cache = getattr(self.state, "_t_cache", None)
+        if cache is None or cache.shape != self.state.u.shape[1:]:
+            return None
+        return np.ascontiguousarray(cache[self.interior])
+
+    def install_cache(self, ext_cache):
+        """Install a ghost-extended Newton temperature cache (or clear
+        it with None). Ghost values equal the owning rank's interior
+        values — per-cell Newton solves are batch-shape independent, so
+        a halo exchange of interior caches rebuilds the extended cache
+        bitwise."""
+        if ext_cache is None:
+            self.state._t_cache = None
+        else:
+            self.state._t_cache = np.array(ext_cache, dtype=float, copy=True)
+        return None
+
     def telemetry_snapshot(self) -> dict:
         return self.telemetry.snapshot()
 
@@ -231,7 +256,7 @@ class ParallelPeriodicSolver:
                  chem_load_balance=None, chemlb_threshold=1.1,
                  chemlb_cost_model=None, chemlb_work_model=None,
                  rank_telemetry=False, observability=None,
-                 comm_transport=None):
+                 comm_transport=None, parallel_recovery=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -239,9 +264,11 @@ class ParallelPeriodicSolver:
         self.mech = mechanism
         self.grid = grid
         self.decomp = decomp
+        self.telemetry = resolve_telemetry(telemetry)
         self._owns_world = world is None
         if world is None:
-            world = create_transport(comm_transport, size=decomp.size)
+            world = create_transport(comm_transport, size=decomp.size,
+                                     telemetry=self.telemetry)
         elif comm_transport is not None and world.name != comm_transport:
             raise ValueError(
                 f"explicit world is a {world.name!r} transport but "
@@ -250,7 +277,9 @@ class ParallelPeriodicSolver:
         self.world = world
         self.scheme = SCHEMES[scheme]()
         self.filter_interval = int(filter_interval)
-        self.telemetry = resolve_telemetry(telemetry)
+        from repro.resilience.distributed import resolve_recovery_policy
+
+        self.recovery_policy = resolve_recovery_policy(parallel_recovery)
         self.halo = HaloExchanger(decomp, world, width=DEEP_HALO,
                                   telemetry=self.telemetry)
         self.spacings = [grid.spacing(a) for a in range(grid.ndim)]
@@ -267,35 +296,48 @@ class ParallelPeriodicSolver:
         # and _rhs_all adds balanced wdot to the owned interior instead
         self._defer = self.chemlb is not None
         self._rank_telemetry = bool(rank_telemetry)
+        # kept so recovery can rebuild rank programs on a new or revived
+        # world with exactly the original construction arguments
+        self._build_params = dict(transport=transport, reacting=reacting,
+                                  filter_alpha=filter_alpha,
+                                  rhs_engine=rhs_engine)
         # species layout of the conserved array, needed driver-side to
         # add balanced reaction sources without per-rank State objects
         self._n_transported = mechanism.n_species - 1
         self._species_slice = slice(2 + grid.ndim,
                                     2 + grid.ndim + self._n_transported)
-        # per-rank programs live wherever the transport runs ranks: the
-        # in-process backend holds them in the driver (and may share the
-        # driver's live telemetry backend through local_factory, which
-        # out-of-process backends ignore in favour of the pickled args)
-        per_rank_args = [
-            (mechanism, self.halo.extended_shape(rank), self.spacings,
-             self.halo.interior_slices(rank), transport, reacting,
-             filter_alpha, rhs_engine, self._defer, rank_telemetry)
-            for rank in range(decomp.size)
-        ]
-        if rank_telemetry:
-            local_factory = None  # programs build their own recording backends
-        else:
-            def local_factory(rank):
-                return SolverRankProgram(rank, *per_rank_args[rank],
-                                         telemetry=self.telemetry)
-        world.start_programs(SolverRankProgram, per_rank_args,
-                             local_factory=local_factory)
+        self._start_rank_programs()
         self.locals: list = [None] * decomp.size
         self.time = 0.0
         self.step_count = 0
         self._gstate = None  # lazy gathered-state view for health checks
         self._gstate_step = -1
         self.health = self._resolve_health(observability)
+
+    def _start_rank_programs(self) -> None:
+        """(Re)start one rank program per rank on the current world.
+
+        Per-rank programs live wherever the transport runs ranks: the
+        in-process backend holds them in the driver (and may share the
+        driver's live telemetry backend through local_factory, which
+        out-of-process backends ignore in favour of the pickled args).
+        """
+        p = self._build_params
+        per_rank_args = [
+            (self.mech, self.halo.extended_shape(rank), self.spacings,
+             self.halo.interior_slices(rank), p["transport"], p["reacting"],
+             p["filter_alpha"], p["rhs_engine"], self._defer,
+             self._rank_telemetry)
+            for rank in range(self.decomp.size)
+        ]
+        if self._rank_telemetry:
+            local_factory = None  # programs build their own recording backends
+        else:
+            def local_factory(rank):
+                return SolverRankProgram(rank, *per_rank_args[rank],
+                                         telemetry=self.telemetry)
+        self.world.start_programs(SolverRankProgram, per_rank_args,
+                                  local_factory=local_factory)
 
     @classmethod
     def from_config(cls, mechanism, grid, decomp, config, world=None,
@@ -325,6 +367,7 @@ class ParallelPeriodicSolver:
             observability=config.observability,
             telemetry=tel,
             comm_transport=config.transport,
+            parallel_recovery=config.parallel_recovery,
         )
         opts.update(kwargs)
         return cls(mechanism, grid, decomp, world, transport=transport,
@@ -432,6 +475,111 @@ class ParallelPeriodicSolver:
                 health.on_step(dt, health.clock() - t0)
             else:
                 self.step(dt)
+
+    def run_resilient(self, fs, n_steps: int, dt: float, **kwargs):
+        """Supervised :meth:`run`: coordinated parallel checkpoints plus
+        rank-failure recovery under :attr:`recovery_policy`.
+
+        Thin wrapper over
+        :func:`repro.resilience.distributed.run_parallel_resilient`;
+        see that module for checkpoint-ring and policy semantics.
+        """
+        from repro.resilience.distributed import run_parallel_resilient
+
+        return run_parallel_resilient(self, fs, n_steps, dt,
+                                      policy=self.recovery_policy, **kwargs)
+
+    # -- recovery plumbing ------------------------------------------------
+    def capture_caches(self) -> list:
+        """Owned-interior Newton temperature caches, one block per rank
+        (``None`` for ranks whose cache is cold). One execution-plane
+        collective; used by checkpointing so a restored run replays the
+        exact Newton starting points and stays bitwise."""
+        return self.world.call_all("cache_block")
+
+    def _install_caches(self, interior_caches) -> None:
+        """Push per-rank interior caches back as extended-shape caches.
+
+        Ghost cache values equal the owner's interior values (per-cell
+        Newton is batch-shape independent), so a halo exchange of the
+        interior blocks rebuilds each rank's extended cache bitwise.
+        Any ``None`` block invalidates every cache: a cold start is
+        always correct, a mixed hot/cold install is not.
+        """
+        if any(c is None for c in interior_caches):
+            payloads = [(None,) for _ in range(self.decomp.size)]
+        else:
+            arrs = [np.asarray(c, dtype=float) for c in interior_caches]
+            extended = self.halo.exchange(arrs, leading_axes=0)
+            payloads = [(ext,) for ext in extended]
+        self.world.call_all("install_cache", payloads)
+
+    def install_shards(self, step: int, time: float, blocks, caches) -> None:
+        """Adopt per-rank checkpoint shards as the current solver state."""
+        if len(blocks) != self.decomp.size:
+            raise ValueError(
+                f"{len(blocks)} shard blocks for {self.decomp.size} ranks"
+            )
+        self.locals = [np.array(b, dtype=float, copy=True) for b in blocks]
+        self.time = float(time)
+        self.step_count = int(step)
+        self._gstate_step = -1
+        self._install_caches(list(caches))
+
+    def install_checkpoint(self, data: dict) -> None:
+        """Adopt a *global* checkpoint dict (``u``/``time``/``step`` and
+        optional ``cache``) — the shrink path, where the shards were
+        gathered under the old decomposition and must be re-scattered
+        under the current one."""
+        self.set_state(data["u"])
+        self.time = float(data["time"])
+        self.step_count = int(data["step"])
+        self._gstate_step = -1
+        cache = data.get("cache")
+        if cache is None:
+            interior = [None] * self.decomp.size
+        else:
+            interior = self.decomp.scatter(np.asarray(cache, dtype=float), 0)
+        self._install_caches(interior)
+
+    def respawn_ranks(self, ranks) -> None:
+        """Bring dead ranks back (fresh worker + rank program). The
+        caller is responsible for restoring state afterwards; a revived
+        program starts from the initial condition."""
+        self.world.revive_ranks(ranks)
+
+    def reconfigure(self, decomp) -> None:
+        """Re-decompose onto a new (smaller) world — the shrink policy.
+
+        Builds a fresh transport of the same backend with
+        ``decomp.size`` ranks, rebuilds the halo exchanger and rank
+        programs, and re-seeds the chemistry balancer's cost model.
+        State is *not* carried over; call :meth:`install_checkpoint`
+        after reconfiguring.
+        """
+        if decomp.global_shape != self.decomp.global_shape:
+            raise ValueError(
+                f"new decomposition covers {decomp.global_shape}, "
+                f"solver grid is {self.decomp.global_shape}"
+            )
+        old_world = self.world
+        kwargs = dict(fault_injector=old_world.faults,
+                      telemetry=self.telemetry)
+        if old_world.name == "multiprocessing":
+            kwargs["heartbeat"] = getattr(old_world, "heartbeat", None)
+        world = create_transport(old_world.name, size=decomp.size, **kwargs)
+        self.decomp = decomp
+        self.world = world
+        self.halo = HaloExchanger(decomp, world, width=DEEP_HALO,
+                                  telemetry=self.telemetry)
+        if self.chemlb is not None:
+            self.chemlb.rebind(world)
+        self._start_rank_programs()
+        self.locals = [None] * decomp.size
+        self._gstate_step = -1
+        if self._owns_world:
+            old_world.close()
+        self._owns_world = True
 
     @property
     def rank_telemetries(self):

@@ -19,9 +19,14 @@ and every consumer knows how to survive it.
 * :mod:`repro.resilience.supervisor` — :func:`run_resilient`:
   rollback-and-replay driving a solver through injected faults to a
   bit-identical final state.
+* :mod:`repro.resilience.distributed` — :func:`run_parallel_resilient`:
+  the rank-parallel counterpart — coordinated two-phase distributed
+  checkpoints (one CRC-guarded shard per rank, manifest as commit
+  record) plus ``respawn``/``shrink`` rank-failure recovery policies.
 
 Telemetry counters: ``resilience.faults_injected``,
 ``resilience.retries``, ``resilience.recoveries``,
+``resilience.parallel_recoveries``, ``resilience.ranks_respawned``,
 ``resilience.replayed_steps``, ``resilience.checkpoints_written``,
 ``resilience.checkpoint_fallbacks`` (see docs/RESILIENCE.md).
 """
@@ -30,6 +35,7 @@ from repro.resilience.errors import (
     FaultInjectedError,
     MessageNotFoundError,
     RankFailedError,
+    RankUnresponsiveError,
     ResilienceExhaustedError,
     RestartCorruptionError,
     TornWriteError,
@@ -52,6 +58,7 @@ __all__ = [
     "RestartCorruptionError",
     "FaultInjectedError",
     "RankFailedError",
+    "RankUnresponsiveError",
     "MessageNotFoundError",
     "ResilienceExhaustedError",
     "FaultSpec",
@@ -68,6 +75,13 @@ __all__ = [
     "RecoveryEvent",
     "RunReport",
     "run_resilient",
+    "DistributedCheckpointRing",
+    "DistributedRunReport",
+    "ParallelRecoveryEvent",
+    "RECOVERY_POLICIES",
+    "resolve_recovery_policy",
+    "run_parallel_resilient",
+    "shrink_decomposition",
 ]
 
 #: names resolved lazily (PEP 562): these modules import repro.io, which
@@ -78,6 +92,13 @@ _LAZY = {
     "RecoveryEvent": "repro.resilience.supervisor",
     "RunReport": "repro.resilience.supervisor",
     "run_resilient": "repro.resilience.supervisor",
+    "DistributedCheckpointRing": "repro.resilience.distributed",
+    "DistributedRunReport": "repro.resilience.distributed",
+    "ParallelRecoveryEvent": "repro.resilience.distributed",
+    "RECOVERY_POLICIES": "repro.resilience.distributed",
+    "resolve_recovery_policy": "repro.resilience.distributed",
+    "run_parallel_resilient": "repro.resilience.distributed",
+    "shrink_decomposition": "repro.resilience.distributed",
 }
 
 

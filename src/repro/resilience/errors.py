@@ -17,6 +17,10 @@ and supervisor layers dispatch on:
   crashed computation (e.g. a rank failure mid-step); the supervisor
   answers with rollback-and-replay.
 * :class:`RankFailedError` — communication with a failed rank.
+* :class:`RankUnresponsiveError` — a live-looking rank missed its
+  heartbeat/deadline (hung, not crashed). Subclasses
+  :class:`RankFailedError` so every existing dead-rank handler treats a
+  hang like a crash, while callers that care can distinguish the two.
 * :class:`MessageNotFoundError` — a receive found no matching message;
   carries the rank's pending-queue state in its message.
 * :class:`ResilienceExhaustedError` — recovery itself ran out of
@@ -31,6 +35,7 @@ __all__ = [
     "RestartCorruptionError",
     "FaultInjectedError",
     "RankFailedError",
+    "RankUnresponsiveError",
     "MessageNotFoundError",
     "ResilienceExhaustedError",
 ]
@@ -54,6 +59,10 @@ class FaultInjectedError(RuntimeError):
 
 class RankFailedError(RuntimeError):
     """An operation touched a rank marked as failed."""
+
+
+class RankUnresponsiveError(RankFailedError):
+    """A rank missed its heartbeat/deadline: hung rather than crashed."""
 
 
 class MessageNotFoundError(RuntimeError):

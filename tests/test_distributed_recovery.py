@@ -1,0 +1,672 @@
+"""Distributed run supervision: coordinated checkpoints + rank recovery.
+
+The ISSUE 7 acceptance criteria: a seeded worker kill (or hang)
+mid-run must complete via rollback-and-replay to a final state
+*bitwise identical* to a fault-free run on the in-process reference
+transport and within 1e-12 relative on the multiprocessing backend —
+under both the ``respawn`` and ``shrink`` recovery policies, with
+chemistry load balancing on and off. Policy ``off`` must leave results
+bitwise identical to a plain ``solver.run``.
+
+Fault schedules are seeded through ``REPRO_FAULT_SEED`` (the CI
+recovery lane sweeps {1, 7, 42}) so every run is reproducible and
+different lanes exercise different kill sites.
+
+The scenario is a 1-D 64-cell reacting H2/air hot-spot: 1-D slab
+decompositions of this grid are *bitwise* decomposition-independent
+(asserted by ``test_shrink_matches_reference``), which is what lets
+the shrink policy promise bit-exact continuation on fewer ranks.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.chemistry.mechanisms.builders import h2_li2004
+from repro.core.config import SolverConfig, periodic_boundaries
+from repro.core.grid import Grid
+from repro.core.state import State
+from repro.io import SimFileSystem, lustre
+from repro.io.restart import (
+    load_state_shard,
+    read_checkpoint_manifest,
+    save_state_shard,
+    verify_state_shard,
+    write_checkpoint_manifest,
+)
+from repro.parallel import shm
+from repro.parallel.comm import InProcessTransport, create_transport
+from repro.parallel.decomp import CartesianDecomposition
+from repro.parallel.programs import make_chained, make_sleeper
+from repro.parallel.shm import MultiprocessingTransport
+from repro.parallel.solver import DEEP_HALO, ParallelPeriodicSolver
+from repro.resilience import (
+    RankFailedError,
+    RankUnresponsiveError,
+    ResilienceExhaustedError,
+    RestartCorruptionError,
+)
+from repro.resilience.distributed import (
+    DistributedCheckpointRing,
+    ENV_VAR,
+    resolve_recovery_policy,
+    shrink_decomposition,
+)
+from repro.resilience.faults import FaultInjector, seed_from_env
+from repro.telemetry import Telemetry
+from repro.transport import ConstantLewisTransport
+from repro.util.constants import P_ATM
+
+pytestmark = pytest.mark.recovery
+
+#: multiprocessing contract bound (in practice the backends agree bitwise)
+MP_RTOL = 1e-12
+
+#: per-lane fault schedule seed (CI sweeps REPRO_FAULT_SEED in {1, 7, 42})
+SEED = seed_from_env(7)
+
+N_RANKS = 4
+N_STEPS = 4
+DT = 2e-8
+
+
+def _h2_solver(nprocs=N_RANKS, policy="off", chem="off",
+               transport_name="inprocess", faults=None, heartbeat=None,
+               telemetry=None):
+    """1-D reacting H2/air hot-spot on an ``nprocs``-rank slab."""
+    mech = h2_li2004()
+    grid = Grid((64,), (4e-3,), periodic=(True,))
+    x = grid.coords[0]
+    T = 900.0 + 500.0 * np.exp(-((x - 2e-3) ** 2) / (2 * (4e-4) ** 2))
+    Y = np.zeros((mech.n_species,) + grid.shape)
+    names = list(mech.species_names)
+    Y[names.index("H2")] = 0.028
+    Y[names.index("O2")] = 0.226
+    Y[names.index("N2")] = 1.0 - 0.028 - 0.226
+    rho = mech.density(P_ATM, T, Y)
+    state = State.from_primitive(mech, grid, rho, [1.0], T, Y)
+    decomp = CartesianDecomposition(grid.shape, (nprocs,),
+                                    periodic=grid.periodic)
+    kwargs = {}
+    if transport_name == "multiprocessing" and heartbeat is not None:
+        kwargs["heartbeat"] = heartbeat
+    world = create_transport(transport_name, size=nprocs,
+                             fault_injector=faults, **kwargs)
+    solver = ParallelPeriodicSolver(
+        mech, grid, decomp, world=world,
+        transport=ConstantLewisTransport(mech), reacting=True,
+        scheme="ck45", filter_alpha=0.2, chem_load_balance=chem,
+        parallel_recovery=policy, telemetry=telemetry,
+    )
+    solver._owns_world = True  # solver adopts the transport we built
+    solver.set_state(state.u)
+    return solver
+
+
+@pytest.fixture(scope="module")
+def u_ref():
+    """Fault-free reference final state (in-process, 4 ranks)."""
+    solver = _h2_solver()
+    try:
+        solver.run(N_STEPS, DT)
+        return np.array(solver.gather_state(), copy=True)
+    finally:
+        solver.close()
+
+
+def _kill_injector(mode: str, seed: int = SEED):
+    """Seeded single-shot rank kill/hang somewhere in the first ~2 steps."""
+    rng = random.Random(seed)
+    inj = FaultInjector(seed=seed)
+    inj.add("exec.call", mode=mode, count=1, after=1 + rng.randrange(12),
+            rank=rng.randrange(N_RANKS))
+    return inj
+
+
+# ---------------------------------------------------------------------------
+class TestShardFormat:
+    """Rank-sharded checkpoint format (restart v2 + shard magic)."""
+
+    def _fs(self):
+        return SimFileSystem(lustre())
+
+    def test_roundtrip_with_cache(self):
+        fs = self._fs()
+        u = np.arange(13 * 16, dtype=float).reshape(13, 16) * 0.5
+        cache = np.linspace(300.0, 1500.0, 16)
+        save_state_shard(fs, "a.shard", 7, 1.5e-6, u, cache_block=cache)
+        out = load_state_shard(fs, "a.shard")
+        assert out["step"] == 7
+        assert out["time"] == 1.5e-6
+        assert np.array_equal(out["u"], u)
+        assert np.array_equal(out["cache"], cache)
+
+    def test_roundtrip_without_cache(self):
+        fs = self._fs()
+        u = np.random.default_rng(SEED).random((13, 16))
+        save_state_shard(fs, "b.shard", 3, 0.0, u)
+        out = load_state_shard(fs, "b.shard")
+        assert out["cache"] is None
+        assert np.array_equal(out["u"], u)
+        meta = verify_state_shard(fs, "b.shard")
+        assert meta["step"] == 3 and not meta["has_cache"]
+
+    def test_cache_shape_mismatch_rejected(self):
+        fs = self._fs()
+        u = np.zeros((13, 16))
+        with pytest.raises(ValueError, match="cache shape"):
+            save_state_shard(fs, "c.shard", 0, 0.0, u,
+                             cache_block=np.zeros(15))
+
+    def test_corrupt_payload_fails_checksum(self):
+        fs = self._fs()
+        u = np.ones((3, 8))
+        save_state_shard(fs, "d.shard", 1, 0.0, u)
+        from repro.io.filesystem import WriteRequest
+
+        fs.phase_write([WriteRequest(0, "d.shard", fs.file_size("d.shard") - 4,
+                                     b"\xde\xad\xbe\xef")])
+        with pytest.raises(RestartCorruptionError, match="checksum"):
+            verify_state_shard(fs, "d.shard")
+
+    def test_wrong_magic_rejected(self):
+        fs = self._fs()
+        fs.open("e.shard", n_clients=1)
+        from repro.io.filesystem import WriteRequest
+
+        fs.phase_write([WriteRequest(0, "e.shard", 0, b"\x00" * 64)])
+        with pytest.raises(RestartCorruptionError, match="not a"):
+            verify_state_shard(fs, "e.shard")
+
+    def test_manifest_roundtrip(self):
+        fs = self._fs()
+        meta = {"step": 4, "time": 8e-8, "n_ranks": 2,
+                "shards": ["x.r0.shard", "x.r1.shard"]}
+        write_checkpoint_manifest(fs, "x.manifest", meta)
+        out = read_checkpoint_manifest(fs, "x.manifest")
+        assert out["step"] == 4 and out["shards"] == meta["shards"]
+
+    def test_tampered_manifest_fails_crc(self):
+        fs = self._fs()
+        write_checkpoint_manifest(fs, "y.manifest", {"step": 4})
+        raw = fs.read("y.manifest", 0, fs.file_size("y.manifest"))
+        from repro.io.filesystem import WriteRequest
+
+        tampered = raw.replace(b'"step":4', b'"step":9')
+        fs.phase_write([WriteRequest(0, "y.manifest", 0, tampered)])
+        with pytest.raises(RestartCorruptionError, match="checksum"):
+            read_checkpoint_manifest(fs, "y.manifest")
+
+    def test_garbage_manifest_is_descriptive(self):
+        fs = self._fs()
+        fs.open("z.manifest", n_clients=1)
+        from repro.io.filesystem import WriteRequest
+
+        fs.phase_write([WriteRequest(0, "z.manifest", 0, b"\xff\xfenot json")])
+        with pytest.raises(RestartCorruptionError, match="manifest"):
+            read_checkpoint_manifest(fs, "z.manifest")
+
+
+# ---------------------------------------------------------------------------
+class TestDistributedRing:
+    """Two-phase-commit checkpoint ring over per-rank shards."""
+
+    def test_save_commits_shards_and_manifest(self):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            manifest = ring.save(solver)
+            names = fs.listdir("ck")
+            assert manifest in names
+            assert sum(1 for n in names if n.endswith(".shard")) == N_RANKS
+            # two-phase commit: no uncommitted temporaries survive a save
+            assert not [n for n in names if n.endswith(".tmp")]
+            meta = read_checkpoint_manifest(fs, manifest)
+            assert meta["n_ranks"] == N_RANKS
+            assert tuple(meta["proc_shape"]) == (N_RANKS,)
+        finally:
+            solver.close()
+
+    def test_ring_keeps_last_k(self):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck", keep=2)
+            for _ in range(3):
+                ring.save(solver)
+                solver.step(DT)
+            assert len(ring.entries()) == 2
+            assert ring.newest_step == 2
+            # pruned checkpoints leave neither manifest nor shards behind
+            steps_on_disk = {n.split(".")[1] for n in fs.listdir("ck")}
+            assert steps_on_disk == {"00000001", "00000002"}
+        finally:
+            solver.close()
+
+    def test_restore_rolls_back_bitwise(self, u_ref):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            solver.step(DT)
+            ring.save(solver)
+            saved = np.array(solver.gather_state(), copy=True)
+            solver.step(DT)
+            solver.step(DT)
+            restored = ring.restore(solver)
+            assert restored["step"] == 1 and restored["fallbacks"] == 0
+            assert solver.step_count == 1
+            assert np.array_equal(solver.gather_state(), saved)
+            # the replayed trajectory matches the uninterrupted one
+            for _ in range(N_STEPS - 1):
+                solver.step(DT)
+            assert np.array_equal(solver.gather_state(), u_ref)
+        finally:
+            solver.close()
+
+    def test_torn_checkpoint_is_invisible(self):
+        """A checkpoint missing its manifest (torn before commit) is
+        skipped whole; restore falls back to the previous one."""
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            ring.save(solver)
+            solver.step(DT)
+            newest = ring.save(solver)
+            fs.unlink(newest)  # sever the commit record
+            restored = ring.restore(solver)
+            assert restored["step"] == 0
+            assert restored["fallbacks"] == 1
+        finally:
+            solver.close()
+
+    def test_corrupt_shard_poisons_whole_checkpoint(self):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            ring.save(solver)
+            solver.step(DT)
+            ring.save(solver)
+            shard = ring.shard_path(1, 2)
+            from repro.io.filesystem import WriteRequest
+
+            fs.phase_write([WriteRequest(0, shard,
+                                         fs.file_size(shard) - 8,
+                                         b"\x00" * 8)])
+            restored = ring.restore(solver)
+            assert restored["step"] == 0 and restored["fallbacks"] == 1
+        finally:
+            solver.close()
+
+    def test_empty_ring_exhausts(self):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            with pytest.raises(ResilienceExhaustedError, match="ring"):
+                ring.restore(solver)
+        finally:
+            solver.close()
+
+    def test_load_global_matches_gather(self):
+        solver = _h2_solver()
+        try:
+            fs = SimFileSystem(lustre())
+            ring = DistributedCheckpointRing(fs, prefix="ck")
+            solver.step(DT)
+            ring.save(solver)
+            data = ring.load_global()
+            assert data["step"] == 1
+            assert np.array_equal(data["u"], solver.gather_state())
+            assert data["cache"] is not None  # reacting run has hot caches
+        finally:
+            solver.close()
+
+
+# ---------------------------------------------------------------------------
+class TestShrinkDecomposition:
+    def _decomp(self, n=64, p=4):
+        return CartesianDecomposition((n,), (p,), periodic=(True,))
+
+    def test_shrinks_to_survivors(self):
+        d = shrink_decomposition(self._decomp(), 3)
+        assert d.proc_shape == (3,) and d.global_shape == (64,)
+        assert d.periodic == (True,)
+
+    def test_respects_deep_halo_floor(self):
+        # 64 cells over 3 ranks -> 21-cell blocks, fine; over 7 ranks the
+        # 9-cell halo would outrun the 9-cell block boundary at 64//7=9,
+        # which is exactly legal; 64//8=8 < DEEP_HALO must shrink further
+        d = shrink_decomposition(self._decomp(), 8)
+        assert 64 // d.proc_shape[0] >= DEEP_HALO
+
+    def test_single_rank_always_legal(self):
+        d = shrink_decomposition(self._decomp(n=16, p=1), 1)
+        assert d.size == 1
+
+    def test_multi_axis_split_rejected(self):
+        d2 = CartesianDecomposition((64, 64), (2, 2), periodic=(True, True))
+        with pytest.raises(ResilienceExhaustedError, match="slab"):
+            shrink_decomposition(d2, 3)
+
+
+# ---------------------------------------------------------------------------
+class TestPolicyResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "shrink")
+        assert resolve_recovery_policy("respawn") == "respawn"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "shrink")
+        assert resolve_recovery_policy(None) == "shrink"
+        monkeypatch.delenv(ENV_VAR)
+        assert resolve_recovery_policy(None) == "off"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown parallel recovery"):
+            resolve_recovery_policy("retreat")
+
+    def test_config_validates_policy(self):
+        grid = Grid((16,), (1.0,), periodic=(True,))
+        good = SolverConfig(boundaries=periodic_boundaries(1),
+                            parallel_recovery="respawn")
+        good.validate(grid)
+        bad = SolverConfig(boundaries=periodic_boundaries(1),
+                           parallel_recovery="retreat")
+        with pytest.raises(ValueError, match="unknown parallel recovery"):
+            bad.validate(grid)
+
+
+# ---------------------------------------------------------------------------
+class TestRecoveryInProcess:
+    """Seeded kill/hang matrix on the bitwise reference transport."""
+
+    @pytest.mark.parametrize("chem", ["off", "greedy"])
+    @pytest.mark.parametrize("policy", ["respawn", "shrink"])
+    @pytest.mark.parametrize("mode", ["rank_failure", "hang"])
+    def test_recovered_state_is_bitwise(self, u_ref, mode, policy, chem):
+        inj = _kill_injector(mode)
+        solver = _h2_solver(policy=policy, chem=chem, faults=inj)
+        try:
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert report.recoveries >= 1
+            assert report.steps_completed == N_STEPS
+            if policy == "shrink":
+                assert report.final_world_size < N_RANKS
+            assert np.array_equal(solver.gather_state(), u_ref), (
+                f"{mode}/{policy}/chemlb={chem}: recovered state diverged "
+                f"from the fault-free reference (seed {SEED})"
+            )
+            ev = report.history[0]
+            assert ev.dead_ranks and ev.policy == policy
+            assert ev.restored_step <= ev.at_step
+        finally:
+            solver.close()
+
+    def test_off_policy_is_plain_run(self, u_ref):
+        solver = _h2_solver(policy="off")
+        try:
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert report.clean
+            assert report.checkpoints_written == 0
+            assert not fs.listdir("parallel")  # zero checkpoint traffic
+            assert np.array_equal(solver.gather_state(), u_ref)
+        finally:
+            solver.close()
+
+    def test_recovery_budget_exhausts(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("exec.call", mode="rank_failure", count=50, after=1,
+                rank=0)
+        solver = _h2_solver(policy="respawn", faults=inj)
+        try:
+            fs = SimFileSystem(lustre())
+            with pytest.raises(ResilienceExhaustedError, match="budget"):
+                solver.run_resilient(fs, N_STEPS, DT, max_recoveries=2)
+        finally:
+            solver.close()
+
+    def test_recovery_counters_recorded(self):
+        tel = Telemetry()
+        inj = _kill_injector("rank_failure")
+        solver = _h2_solver(policy="respawn", faults=inj, telemetry=tel)
+        try:
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert (tel.counter("resilience.parallel_recoveries").value
+                    == report.recoveries)
+            assert (tel.counter("resilience.ranks_respawned").value
+                    == report.ranks_respawned)
+            assert tel.counter("resilience.checkpoints_written").value >= 1
+        finally:
+            solver.close()
+
+    def test_shrink_matches_reference(self, u_ref):
+        """The property shrink relies on: 1-D slab runs of this scenario
+        are bitwise decomposition-independent."""
+        for nprocs in (3, 2, 1):
+            solver = _h2_solver(nprocs=nprocs)
+            try:
+                solver.run(N_STEPS, DT)
+                assert np.array_equal(solver.gather_state(), u_ref), (
+                    f"{nprocs}-rank run diverged from the 4-rank reference"
+                )
+            finally:
+                solver.close()
+
+
+# ---------------------------------------------------------------------------
+class TestExceptionFidelity:
+    """Worker exceptions must surface with cause chain + origin rank."""
+
+    def test_inprocess_preserves_cause_and_rank(self):
+        world = InProcessTransport(3)
+        world.start_programs(make_chained, [(1,)] * 3)
+        with pytest.raises(ValueError, match="reaction rates") as excinfo:
+            world.call_all("work")
+        assert excinfo.value.rank == 1
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        world.close()
+
+    @pytest.mark.slow
+    def test_multiprocessing_preserves_cause_and_rank(self):
+        world = MultiprocessingTransport(2)
+        try:
+            world.start_programs(make_chained, [(1,)] * 2)
+            with pytest.raises(ValueError, match="reaction rates") as excinfo:
+                world.call_all("work")
+            assert excinfo.value.rank == 1
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, KeyError)
+            assert "chemistry table" in str(cause)
+        finally:
+            world.close()
+
+
+# ---------------------------------------------------------------------------
+class TestLiveness:
+    def test_inprocess_hang_injection_is_typed(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("exec.call", mode="hang", count=1, rank=2)
+        world = InProcessTransport(3, fault_injector=inj)
+        world.start_programs(make_chained, [(99,)] * 3)  # no rank fails
+        with pytest.raises(RankUnresponsiveError, match="stopped responding"):
+            world.call_all("work")
+        assert 2 in world.failed_ranks
+        world.close()
+
+    def test_heartbeat_env_and_validation(self, monkeypatch):
+        monkeypatch.setenv(shm.HEARTBEAT_ENV, "2.5")
+        world = MultiprocessingTransport(1)
+        assert world.heartbeat == 2.5
+        world.close()
+        with pytest.raises(ValueError, match="heartbeat"):
+            MultiprocessingTransport(1, heartbeat=-1.0)
+
+    @pytest.mark.slow
+    def test_genuine_hang_trips_heartbeat(self):
+        """A worker that really blocks (no injection theatre) is killed
+        and surfaced as RankUnresponsiveError by the deadline."""
+        world = MultiprocessingTransport(2, heartbeat=0.5)
+        try:
+            world.start_programs(make_sleeper, [(0, 30.0)] * 2)
+            with pytest.raises(RankUnresponsiveError, match="heartbeat"):
+                world.call_all("work")
+            assert 0 in world.failed_ranks
+        finally:
+            world.close()
+
+
+# ---------------------------------------------------------------------------
+class TestReviveAndReset:
+    def test_inprocess_revive_restarts_program(self):
+        world = InProcessTransport(3)
+        world.start_programs(make_chained, [(99,)] * 3)
+        world.fail_rank(1)
+        with pytest.raises(RankFailedError):
+            world.call_all("work")
+        world.revive_ranks([1])
+        assert world.failed_ranks == set()
+        assert world.call_all("work") == [0, 1, 2]
+        world.close()
+
+    def test_revive_validates_range(self):
+        world = InProcessTransport(2)
+        with pytest.raises(ValueError, match="out of range"):
+            world.revive_ranks([5])
+        world.close()
+
+    def test_reset_channels_purges_mailboxes(self):
+        world = InProcessTransport(2)
+        world.comm(0).Send(np.arange(3.0), dest=1, tag=9)
+        assert world.comm(1).probe(source=0, tag=9)
+        world.reset_channels()
+        assert not world.comm(1).probe(source=0, tag=9)
+        assert world.pending_messages() == 0
+        world.close()
+
+    @pytest.mark.slow
+    def test_multiprocessing_revive_respawns_worker(self):
+        inj = FaultInjector(seed=SEED)
+        inj.add("exec.call", mode="rank_failure", count=1,
+                rank=1)
+        world = MultiprocessingTransport(2, fault_injector=inj)
+        try:
+            world.start_programs(make_chained, [(99,)] * 2)
+            with pytest.raises(RankFailedError):
+                world.call_all("work")
+            assert 1 in world.failed_ranks
+            world.revive_ranks([1])
+            world.reset_channels()
+            assert world.failed_ranks == set()
+            assert world.call_all("work") == [0, 1]
+        finally:
+            world.close()
+
+
+# ---------------------------------------------------------------------------
+class TestOversubscription:
+    def test_warns_once_and_records_gauge(self, monkeypatch):
+        import os as _os
+
+        monkeypatch.setattr(_os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(shm, "_OVERSUB_WARNED", False)
+        tel = Telemetry()
+        world = MultiprocessingTransport(2, telemetry=tel)
+        try:
+            with pytest.warns(RuntimeWarning, match="oversubscribed"):
+                world.start_programs(make_chained, [(99,)] * 2)
+            assert tel.gauge("transport.oversubscribed").value == 1
+        finally:
+            world.close()
+        # second transport records the gauge but does not warn again
+        import warnings as _warnings
+
+        world2 = MultiprocessingTransport(2, telemetry=tel)
+        try:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error", RuntimeWarning)
+                world2.start_programs(make_chained, [(99,)] * 2)
+        finally:
+            world2.close()
+
+    def test_no_warning_when_fitting(self, monkeypatch):
+        import os as _os
+
+        monkeypatch.setattr(_os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(shm, "_OVERSUB_WARNED", False)
+        import warnings as _warnings
+
+        world = MultiprocessingTransport(2)
+        try:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error", RuntimeWarning)
+                world.start_programs(make_chained, [(99,)] * 2)
+        finally:
+            world.close()
+
+
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestRecoveryMultiprocessing:
+    """Real process kills on the one-worker-per-rank backend."""
+
+    def _assert_close(self, u, u_ref):
+        scale = np.max(np.abs(u_ref))
+        err = np.max(np.abs(u - u_ref)) / scale
+        assert err <= MP_RTOL, f"relative error {err:.3e} > {MP_RTOL}"
+
+    @pytest.mark.parametrize("policy", ["respawn", "shrink"])
+    def test_worker_kill_recovers(self, u_ref, policy):
+        inj = _kill_injector("rank_failure")
+        solver = _h2_solver(policy=policy,
+                            transport_name="multiprocessing", faults=inj)
+        try:
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert report.recoveries >= 1
+            assert report.steps_completed == N_STEPS
+            self._assert_close(solver.gather_state(), u_ref)
+        finally:
+            solver.close()
+
+    def test_real_hang_recovers_via_heartbeat(self, u_ref):
+        inj = _kill_injector("hang")
+        solver = _h2_solver(policy="respawn",
+                            transport_name="multiprocessing", faults=inj,
+                            heartbeat=1.0)
+        try:
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert report.recoveries >= 1
+            assert "RankUnresponsiveError" in report.history[0].error
+            self._assert_close(solver.gather_state(), u_ref)
+        finally:
+            solver.close()
+
+    def test_default_transport_from_env(self, u_ref):
+        """The CI recovery lane's REPRO_TRANSPORT choice is honoured
+        when no backend is named explicitly."""
+        from repro.parallel.comm import resolve_transport_name
+
+        expected = resolve_transport_name(None)
+        inj = _kill_injector("rank_failure")
+        solver = _h2_solver(policy="respawn", transport_name=None,
+                            faults=inj)
+        try:
+            assert solver.world.name == expected
+            fs = SimFileSystem(lustre())
+            report = solver.run_resilient(fs, N_STEPS, DT)
+            assert report.recoveries >= 1
+            if expected == "inprocess":
+                assert np.array_equal(solver.gather_state(), u_ref)
+            else:
+                self._assert_close(solver.gather_state(), u_ref)
+        finally:
+            solver.close()
