@@ -13,10 +13,20 @@ baseline ratio (ratios are machine-portable where absolute times are
 not), or when the headline 3-D reacting H2 case falls under the hard
 2x floor.
 
+Beyond the engine comparison, ``--backends`` times the batched engine
+under each requested array backend (``numpy``, ``numba``, ``torch``)
+with the same interleaved-minima protocol, reporting a
+``speedup_vs_reference`` column (reference = the NumPy batched engine).
+Backends whose optional package is absent are recorded under
+``backend_skipped`` with the reason instead of silently vanishing.
+``--check-regression`` additionally enforces that every *measured*
+accelerated backend beats the reference on the headline case.
+
 Usage::
 
     python benchmarks/bench_rhs.py                   # measure, write JSON
     python benchmarks/bench_rhs.py --quick           # fewer repeats
+    python benchmarks/bench_rhs.py --backends all    # + per-backend sweep
     python benchmarks/bench_rhs.py --check-regression [--baseline PATH]
 
 Measurement honesty: each timed evaluation uses the next of several
@@ -36,6 +46,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.backend import BACKEND_NAMES, backend_skip_reason  # noqa: E402
 from repro.chemistry import ch4_onestep, h2_li2004  # noqa: E402
 from repro.core.grid import Grid  # noqa: E402
 from repro.core.rhs import CompressibleRHS  # noqa: E402
@@ -51,6 +62,10 @@ REGRESSION_TOLERANCE = 0.20
 #: the acceptance-criterion case and its hard speedup floor
 HEADLINE_CASE = "react_h2_3d"
 HEADLINE_FLOOR = 2.0
+
+#: every measured accelerated backend must at least match the NumPy
+#: batched reference on the headline case
+BACKEND_HEADLINE_FLOOR = 1.0
 
 #: number of distinct state buffers cycled through the timed loop
 N_BUFFERS = 3
@@ -164,7 +179,86 @@ def run_benchmarks(repeats):
     return results
 
 
-def check_regression(current, baseline_path):
+def _time_backend_case(mech, states, viscous, reacting, repeats, backend):
+    """Best per-evaluation time: NumPy-batched reference vs ``backend``.
+
+    Same interleaved-minima protocol as the engine comparison so the
+    speedup-vs-reference ratio is machine-portable.
+    """
+
+    def _build(be):
+        return CompressibleRHS(
+            states[0],
+            transport=MixtureAveragedTransport(mech) if viscous else None,
+            reacting=reacting, engine="batched", backend=be,
+        )
+
+    rhs_ref = _build("numpy")
+    rhs_be = _build(backend)
+    buffers = [s.u for s in states]
+    out_ref = np.empty_like(buffers[0])
+    out_be = np.empty_like(buffers[0])
+    for u in buffers:  # warm: arenas, Newton caches, JIT compiles
+        rhs_ref(0.0, u, out=out_ref)
+        rhs_be(0.0, u, out=out_be)
+    best_ref = best_be = np.inf
+    for _ in range(repeats):
+        for u in buffers:
+            t0 = time.perf_counter()
+            rhs_ref(0.0, u, out=out_ref)
+            t1 = time.perf_counter()
+            rhs_be(0.0, u, out=out_be)
+            t2 = time.perf_counter()
+            best_ref = min(best_ref, t1 - t0)
+            best_be = min(best_be, t2 - t1)
+    return best_ref, best_be
+
+
+def run_backend_benchmarks(repeats, backend_names, engine_cases):
+    """Per-backend batched-engine timings + skip reasons.
+
+    ``engine_cases`` supplies the already-measured NumPy numbers, so the
+    reference section costs nothing extra; accelerated backends re-time
+    the reference interleaved for an honest on-machine ratio.
+    """
+    backends = {}
+    skipped = {}
+    for bname in backend_names:
+        reason = backend_skip_reason(bname)
+        if reason is not None:
+            skipped[bname] = reason
+            print(f"backend {bname:8s} skipped: {reason}")
+            continue
+        cases = {}
+        if bname == "numpy":
+            for cname, c in engine_cases.items():
+                cases[cname] = {
+                    "s_per_eval": c["batched_s_per_eval"],
+                    "ns_per_point": c["batched_ns_per_point"],
+                    "speedup_vs_reference": 1.0,
+                }
+            backends[bname] = {"reference": True, "cases": cases}
+            continue
+        for cname, (factory, shape, viscous, reacting) in _cases().items():
+            mech = factory()
+            grid, states = _make_states(mech, shape, N_BUFFERS)
+            points = int(np.prod(shape))
+            t_ref, t_be = _time_backend_case(
+                mech, states, viscous, reacting, repeats, bname
+            )
+            cases[cname] = {
+                "s_per_eval": t_be,
+                "ns_per_point": 1e9 * t_be / points,
+                "reference_s_per_eval": t_ref,
+                "speedup_vs_reference": t_ref / t_be,
+            }
+            print(f"backend {bname:8s} {cname:16s} {1e9*t_be/points:9.1f} "
+                  f"ns/pt  vs reference {t_ref/t_be:5.2f}x")
+        backends[bname] = {"reference": False, "cases": cases}
+    return backends, skipped
+
+
+def check_regression(current, baseline_path, backends=None):
     """Compare speedup ratios against the committed baseline; return failures."""
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -190,6 +284,23 @@ def check_regression(current, baseline_path):
             f"{HEADLINE_CASE}: speedup {head['speedup']:.2f}x is under the "
             f"hard {HEADLINE_FLOOR:.1f}x acceptance floor"
         )
+    # per-backend headline gates: every accelerated backend actually
+    # measured in this run must at least match the NumPy reference
+    for bname, bdata in (backends or {}).items():
+        if bdata.get("reference"):
+            continue
+        bhead = bdata["cases"].get(HEADLINE_CASE)
+        if bhead is None:
+            continue
+        ratio = bhead["speedup_vs_reference"]
+        status = "ok" if ratio >= BACKEND_HEADLINE_FLOOR else "REGRESSED"
+        print(f"  backend {bname} {HEADLINE_CASE}: {ratio:.2f}x vs "
+              f"reference (floor {BACKEND_HEADLINE_FLOOR:.1f}x) {status}")
+        if ratio < BACKEND_HEADLINE_FLOOR:
+            failures.append(
+                f"backend {bname}: {HEADLINE_CASE} runs at {ratio:.2f}x the "
+                f"NumPy reference, under the {BACKEND_HEADLINE_FLOOR:.1f}x floor"
+            )
     return failures
 
 
@@ -205,10 +316,21 @@ def main(argv=None):
                     help="baseline JSON for --check-regression")
     ap.add_argument("--check-regression", action="store_true",
                     help="fail (exit 1) on >20%% speedup regression vs baseline")
+    ap.add_argument("--backends", default="numpy",
+                    help="comma-separated backend names to sweep, or 'all' "
+                         "(default: numpy; unavailable backends are recorded "
+                         "as skipped with the reason)")
     args = ap.parse_args(argv)
 
     repeats = args.repeats or (3 if args.quick else 6)
     cases = run_benchmarks(repeats)
+    backend_names = (
+        list(BACKEND_NAMES) if args.backends.strip() == "all"
+        else [b.strip() for b in args.backends.split(",") if b.strip()]
+    )
+    backends, backend_skipped = run_backend_benchmarks(
+        repeats, backend_names, cases
+    )
     payload = {
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -218,6 +340,8 @@ def main(argv=None):
             "python": sys.version.split()[0],
         },
         "cases": cases,
+        "backends": backends,
+        "backend_skipped": backend_skipped,
     }
     if args.check_regression:
         # never clobber the baseline with the measurement being judged
@@ -235,7 +359,7 @@ def main(argv=None):
 
     if args.check_regression:
         print("regression check:")
-        failures = check_regression(cases, args.baseline)
+        failures = check_regression(cases, args.baseline, backends=backends)
         if failures:
             for msg in failures:
                 print(f"FAIL: {msg}", file=sys.stderr)

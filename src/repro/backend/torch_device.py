@@ -1,0 +1,359 @@
+"""Torch device backend: the hot kernels as tensor programs.
+
+Executes the stencil sweeps, the Newton temperature inversion, and the
+kinetics production-rate chain as Torch tensor programs on a selectable
+device — CPU everywhere (tensor round-trips are zero-copy via
+``torch.from_numpy``), CUDA when available. Device selection follows
+``REPRO_TORCH_DEVICE`` when set, otherwise ``cuda`` if
+``torch.cuda.is_available()`` else ``cpu``.
+
+Orchestration (state decode, flux assembly bookkeeping) stays on the
+host: conversion happens at the kernel boundary, and device-side
+scratch lives in an *out-of-place analogue of the arena* — a pool of
+persistent tensors keyed by ``(name, shape)`` exactly like
+:class:`~repro.core.workspace.Workspace` slots, so warm evaluations
+allocate nothing on device either.
+
+The chemistry hooks reuse the xp-generic evaluators of
+:mod:`repro.backend.packs` with a small numpy-compatible shim over the
+torch namespace: the same math that the conformance tests pin bitwise
+with ``xp = numpy`` runs here on tensors, so the only divergence from
+the reference is libm/accumulation rounding (covered by the ≤ 1e-12
+relative tolerance battery).
+
+The module imports cleanly without torch; the backend registers itself
+but reports unavailability with the package name.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.backend import ArrayBackend, register_backend
+from repro.backend import packs as _packs
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    HAVE_TORCH = True
+except ImportError:  # pragma: no cover - the common container case
+    torch = None
+    HAVE_TORCH = False
+
+
+class _TorchXp:  # pragma: no cover - requires torch
+    """NumPy-compatible namespace subset over torch tensors on one device."""
+
+    def __init__(self, device):
+        self.device = device
+
+    # allocation ------------------------------------------------------
+    def empty(self, shape):
+        return torch.empty(tuple(shape), dtype=torch.float64, device=self.device)
+
+    def zeros(self, shape):
+        return torch.zeros(tuple(shape), dtype=torch.float64, device=self.device)
+
+    def full(self, shape, value):
+        return torch.full(
+            tuple(shape), float(value), dtype=torch.float64, device=self.device
+        )
+
+    def full_like(self, x, value):
+        return torch.full_like(x, float(value))
+
+    def asarray(self, x):
+        if isinstance(x, torch.Tensor):
+            return x.to(self.device, dtype=torch.float64)
+        return torch.as_tensor(
+            np.asarray(x, dtype=float), dtype=torch.float64, device=self.device
+        )
+
+    def copy(self, x):
+        return x.clone()
+
+    def broadcast_to(self, x, shape):
+        if not isinstance(x, torch.Tensor):
+            x = self.asarray(x)
+        return torch.broadcast_to(x, tuple(shape))
+
+    # math ------------------------------------------------------------
+    @staticmethod
+    def where(cond, a, b):
+        if not isinstance(a, torch.Tensor):
+            a = torch.as_tensor(a, dtype=torch.float64, device=cond.device)
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, dtype=torch.float64, device=cond.device)
+        return torch.where(cond, a, b)
+
+    @staticmethod
+    def exp(x):
+        return torch.exp(x)
+
+    @staticmethod
+    def log(x):
+        return torch.log(x)
+
+    @staticmethod
+    def log10(x):
+        return torch.log10(x)
+
+    @staticmethod
+    def maximum(a, b):
+        if isinstance(b, torch.Tensor):
+            return torch.maximum(a, b)
+        return torch.clamp(a, min=float(b))
+
+    @staticmethod
+    def clip(x, lo, hi):
+        return torch.clamp(x, min=float(lo), max=float(hi))
+
+    @staticmethod
+    def abs(x):
+        return torch.abs(x)
+
+    @staticmethod
+    def all(x):
+        return torch.all(x)
+
+    @staticmethod
+    def sum(x, axis=None):
+        if axis is None:
+            return torch.sum(x)
+        return torch.sum(x, dim=axis)
+
+
+@register_backend
+class TorchBackend(ArrayBackend):
+    """Tensor-program backend; importability-gated on ``torch``."""
+
+    name = "torch"
+    is_reference = False
+    missing_package = "torch"
+
+    def __init__(self):  # pragma: no cover - requires torch
+        super().__init__()
+        if not HAVE_TORCH:
+            raise RuntimeError(self.skip_reason())
+        requested = os.environ.get("REPRO_TORCH_DEVICE")
+        if requested:
+            self.device = torch.device(requested)
+        else:
+            self.device = torch.device(
+                "cuda" if torch.cuda.is_available() else "cpu"
+            )
+        self._xp = _TorchXp(self.device)
+        #: device-side analogue of the Workspace arena: (name, shape) -> tensor
+        self._pool: dict = {}
+        self._consts: dict = {}
+        self._thermo_packs: dict = {}
+        self._kin_packs: dict = {}
+
+    @classmethod
+    def available(cls) -> bool:
+        return HAVE_TORCH
+
+    @classmethod
+    def skip_reason(cls) -> str | None:
+        if HAVE_TORCH:
+            return None
+        return "backend 'torch' requires the 'torch' package (not importable)"
+
+    # -- conversion ----------------------------------------------------
+    # empty/zeros stay host-side (inherited): the Workspace arena serves
+    # the host orchestration program; device scratch lives in _buf below.
+
+    def asarray(self, x, dtype=np.float64):  # pragma: no cover - requires torch
+        if isinstance(x, torch.Tensor):
+            return x.to(self.device, dtype=getattr(torch, np.dtype(dtype).name))
+        return torch.as_tensor(
+            np.asarray(x, dtype=dtype),
+            dtype=getattr(torch, np.dtype(dtype).name),
+            device=self.device,
+        )
+
+    def nbytes(self, arr) -> int:  # pragma: no cover - requires torch
+        if isinstance(arr, torch.Tensor):
+            return int(arr.element_size() * arr.nelement())
+        return int(arr.nbytes)
+
+    def fill(self, arr, value) -> None:  # pragma: no cover - requires torch
+        if isinstance(arr, torch.Tensor):
+            arr.fill_(value)
+        else:
+            arr.fill(value)
+
+    def to_numpy(self, x):  # pragma: no cover - requires torch
+        if isinstance(x, torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    # -- device scratch (out-of-place arena analogue) ------------------
+    def _buf(self, name, shape):  # pragma: no cover - requires torch
+        key = (name, tuple(shape))
+        t = self._pool.get(key)
+        if t is None:
+            t = torch.empty(tuple(shape), dtype=torch.float64, device=self.device)
+            self._pool[key] = t
+        return t
+
+    def _upload(self, arr):  # pragma: no cover - requires torch
+        return torch.from_numpy(np.ascontiguousarray(arr)).to(self.device)
+
+    def _const(self, arr):  # pragma: no cover - requires torch
+        """Cached device copy of a small host constant array."""
+        entry = self._consts.get(id(arr))
+        if entry is None:
+            entry = (arr, self._upload(np.asarray(arr, dtype=float)))
+            self._consts[id(arr)] = entry
+        return entry[1]
+
+    def _download(self, tensor, out):  # pragma: no cover - requires torch
+        torch.from_numpy(out).copy_(tensor)
+        return out
+
+    # -- fused sweep kernels -------------------------------------------
+    def kernel(self, name: str):  # pragma: no cover - requires torch
+        return {
+            "deriv_periodic": self._deriv_periodic,
+            "deriv_boundary": self._deriv_boundary,
+            "filter_periodic": self._filter_periodic,
+            "filter_boundary": self._filter_boundary,
+        }.get(name)
+
+    def _deriv_periodic(self, f, coeffs, inv_metric, out):  # pragma: no cover
+        n, m = f.shape
+        w = len(coeffs)
+        ft = self._upload(f)
+        pad = self._buf("deriv.pad", (n + 2 * w, m))
+        d = self._buf("deriv.d", (n, m))
+        tmp = self._buf("deriv.tmp", (n, m))
+        pad[w : w + n] = ft
+        pad[:w] = ft[n - w :]
+        pad[w + n :] = ft[:w]
+        torch.sub(pad[w + 1 : w + n + 1], pad[w - 1 : w + n - 1], out=d)
+        d *= float(coeffs[0])
+        for k in range(2, w + 1):
+            torch.sub(pad[w + k : w + n + k], pad[w - k : w + n - k], out=tmp)
+            tmp *= float(coeffs[k - 1])
+            d += tmp
+        d *= self._const(inv_metric).reshape(n, 1)
+        return self._download(d, out)
+
+    def _deriv_boundary(self, f, coeffs, w_lo, w_hi, inv_metric, out):  # pragma: no cover
+        n, m = f.shape
+        w = len(coeffs)
+        bw, nb = w_lo.shape
+        ft = self._upload(f)
+        d = self._buf("deriv.d", (n, m))
+        tmp = self._buf("deriv.tmp_int", (n - 2 * w, m))
+        if bw < w:
+            d[bw:w] = 0.0
+            d[n - w : n - bw] = 0.0
+        di = d[w : n - w]
+        torch.sub(ft[w + 1 : n - w + 1], ft[w - 1 : n - w - 1], out=di)
+        di *= float(coeffs[0])
+        for k in range(2, w + 1):
+            torch.sub(ft[w + k : n - w + k], ft[w - k : n - w - k], out=tmp)
+            tmp *= float(coeffs[k - 1])
+            di += tmp
+        d[:bw] = self._const(w_lo) @ ft[:nb]
+        d[n - bw :] = self._const(w_hi) @ ft[n - nb :]
+        d *= self._const(inv_metric).reshape(n, 1)
+        return self._download(d, out)
+
+    def _filter_periodic(self, f, weights, out):  # pragma: no cover
+        n, m = f.shape
+        w = len(weights) // 2
+        ft = self._upload(f)
+        pad = self._buf("filter.pad", (n + 2 * w, m))
+        corr = self._buf("filter.corr", (n, m))
+        tmp = self._buf("filter.tmp", (n, m))
+        pad[w : w + n] = ft
+        pad[:w] = ft[n - w :]
+        pad[w + n :] = ft[:w]
+        torch.mul(pad[0:n], float(weights[0]), out=corr)
+        for k in range(-w + 1, w + 1):
+            torch.mul(pad[w + k : w + n + k], float(weights[k + w]), out=tmp)
+            corr += tmp
+        torch.sub(ft, corr, out=corr)
+        return self._download(corr, out)
+
+    def _filter_boundary(self, f, weights, bweights, out):  # pragma: no cover
+        n, m = f.shape
+        w = len(weights) // 2
+        ft = self._upload(f)
+        corr = self._buf("filter.corr", (n, m))
+        tmp = self._buf("filter.tmp_int", (n - 2 * w, m))
+        corr.zero_()
+        ci = corr[w : n - w]
+        torch.mul(ft[0 : n - 2 * w], float(weights[0]), out=ci)
+        for k in range(-w + 1, w + 1):
+            torch.mul(ft[w + k : n - w + k], float(weights[k + w]), out=tmp)
+            ci += tmp
+        bwt = self._const(bweights)
+        for j in range(1, w):
+            row = bwt[j - 1, : 2 * j + 1]
+            corr[j] = row @ ft[0 : 2 * j + 1]
+            corr[n - 1 - j] = row @ ft[n - 1 - 2 * j : n]
+        corr[0] = 0.0
+        corr[n - 1] = 0.0
+        torch.sub(ft, corr, out=corr)
+        return self._download(corr, out)
+
+    # -- chemistry hooks ------------------------------------------------
+    def _thermo_pack(self, mech):  # pragma: no cover - requires torch
+        entry = self._thermo_packs.get(id(mech))
+        if entry is None:
+            pack = _packs.ThermoPack.from_table(mech.thermo).convert(self._xp.asarray)
+            entry = (mech, pack)
+            self._thermo_packs[id(mech)] = entry
+        return entry[1]
+
+    def _kin_pack(self, mech):  # pragma: no cover - requires torch
+        entry = self._kin_packs.get(id(mech))
+        if entry is None:
+            import dataclasses
+
+            pack = _packs.KineticsPack.from_mechanism(mech)
+            pack = dataclasses.replace(
+                pack,
+                weights=self._xp.asarray(pack.weights),
+                thermo=pack.thermo.convert(self._xp.asarray),
+                A=self._xp.asarray(pack.A),
+                b=self._xp.asarray(pack.b),
+                Ea=self._xp.asarray(pack.Ea),
+                fo_A=self._xp.asarray(pack.fo_A),
+                fo_b=self._xp.asarray(pack.fo_b),
+                fo_Ea=self._xp.asarray(pack.fo_Ea),
+                fo_params=self._xp.asarray(pack.fo_params),
+                tb_eff=self._xp.asarray(pack.tb_eff),
+            )
+            entry = (mech, pack)
+            self._kin_packs[id(mech)] = entry
+        return entry[1]
+
+    def temperature_from_energy(self, mech, e, Y, T_guess=None):  # pragma: no cover
+        xp = self._xp
+        tp = self._thermo_pack(mech)
+        e_t = xp.asarray(np.asarray(e, dtype=float))
+        Y_t = xp.asarray(np.asarray(Y, dtype=float))
+        guess = None
+        if T_guess is not None:
+            guess = xp.broadcast_to(xp.asarray(T_guess), tuple(e_t.shape))
+        T = _packs.newton_temperature_from_energy(
+            xp, tp, xp.asarray(mech.weights), e_t, Y_t, T_guess=guess
+        )
+        return self.to_numpy(T)
+
+    def production_rates(self, mech, rho, T, Y):  # pragma: no cover
+        if mech.kinetics is None:
+            return np.zeros_like(np.asarray(Y, dtype=float))
+        xp = self._xp
+        pk = self._kin_pack(mech)
+        wdot = _packs.mass_production_rates_xp(
+            xp, pk, xp.asarray(rho), xp.asarray(T), xp.asarray(Y)
+        )
+        return self.to_numpy(wdot)

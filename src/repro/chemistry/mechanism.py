@@ -171,15 +171,17 @@ class Mechanism:
         w, Y = self._wshape(Y)
         r = RU / (1.0 / (Y / w).sum(axis=0))
         for _ in range(max_iter):
+            # fused residual + Jacobian pass: h and cp from one
+            # range-selection sweep, assembled in place into the fresh
+            # arrays it returns
+            h, cp = self.thermo.enthalpy_cp_molar(T)
             # resid = int_energy_mass - e = (enthalpy_mass - r T) - e
-            h = self.thermo.enthalpy_molar(T)
             h /= w
             h *= Y
             resid = h.sum(axis=0)
             resid -= r * T
             resid -= e
             # cv = cp_mass - r
-            cp = self.thermo.cp_molar(T)
             cp /= w
             cp *= Y
             cv = cp.sum(axis=0)
@@ -202,12 +204,11 @@ class Mechanism:
         # same in-place assembly as temperature_from_energy
         w, Y = self._wshape(Y)
         for _ in range(max_iter):
-            hm = self.thermo.enthalpy_molar(T)
+            hm, cpm = self.thermo.enthalpy_cp_molar(T)
             hm /= w
             hm *= Y
             resid = hm.sum(axis=0)
             resid -= h
-            cpm = self.thermo.cp_molar(T)
             cpm /= w
             cpm *= Y
             cp = cpm.sum(axis=0)

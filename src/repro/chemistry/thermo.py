@@ -114,6 +114,24 @@ class ThermoTable:
 
     Evaluation methods accept ``T`` of any shape ``S`` and return arrays of
     shape ``(Ns,) + S``.
+
+    Evaluation strategy: each property is computed per species for *both*
+    temperature ranges from their scalar coefficients and the results are
+    blended with ``np.where(T < t_mid, ...)``. Per element this performs
+    the identical arithmetic as gathering the selected coefficients first
+    (the original formulation), so results are bitwise unchanged — but no
+    ``(Ns, 7) + S`` coefficient array is ever materialized, which is the
+    dominant cost on DNS-sized fields (the gather is 7x the size of the
+    result). The Newton energy/enthalpy inversions use the fused
+    :meth:`enthalpy_cp_molar` so residual and Jacobian come from one pass.
+
+    Evaluated properties are additionally memoized per temperature field
+    (single slot, fingerprint-revalidated): one RHS evaluation asks for
+    the same converged-T enthalpies several times (species enthalpies for
+    the heat flux, Gibbs energies for equilibrium constants, heat
+    release), and the memo makes every repeat free. Memoized arrays are
+    returned read-only; callers that combine them (``h / w`` etc.) already
+    produce fresh arrays.
     """
 
     def __init__(self, fits: list[Nasa7]):
@@ -126,67 +144,96 @@ class ThermoTable:
         self._tmid = np.array([f.t_mid for f in fits])
         self.t_low = min(f.t_low for f in fits)
         self.t_high = max(f.t_high for f in fits)
-        # single-slot coefficient-selection cache: within one RHS
-        # evaluation the same temperature field is selected against
-        # many times (cp, h, gibbs, Newton residual + Jacobian); the
-        # (Ns, 7) + S gather below dominates thermo cost, so reuse it
-        # while the field provably hasn't changed
-        self._select_cache = None
+        # single-slot per-field property memo: (T, fingerprint, {prop: value})
+        self._prop_cache = None
 
-    #: only cache coefficient selections for fields at least this large
-    _SELECT_CACHE_MIN_SIZE = 512
+    #: only memoize property evaluations for fields at least this large
+    _MEMO_MIN_SIZE = 512
 
-    def _select(self, T):
-        """Per-species coefficient arrays of shape (Ns, 7) + S.
+    @staticmethod
+    def _fingerprint(T):
+        """Cheap content fingerprint catching in-place mutation (Newton)."""
+        return (float(T.flat[0]), float(T.flat[-1]), float(T.sum()))
 
-        Cached per temperature field: the cache key is the array object
-        plus a content fingerprint (first/last elements and the full
-        sum), revalidated on every hit so in-place Newton updates are
-        detected. One fingerprint pass costs ~1/63rd of the gather it
-        avoids.
-        """
+    def _memo(self, T, key, compute):
         T = np.asarray(T, dtype=float)
-        cache = self._select_cache
-        if cache is not None and cache[0] is T:
-            first, last, total, a = cache[1], cache[2], cache[3], cache[4]
-            if (
-                first == float(T.flat[0])
-                and last == float(T.flat[-1])
-                and total == float(T.sum())
-            ):
-                return a, T
-        # mask shape (Ns,) + S
-        mask = T[None, ...] < self._tmid.reshape((-1,) + (1,) * T.ndim)
-        lo = self._lo.reshape((self.n_species, 7) + (1,) * T.ndim)
-        hi = self._hi.reshape((self.n_species, 7) + (1,) * T.ndim)
-        a = np.where(mask[:, None, ...], lo, hi)
-        if T.size >= self._SELECT_CACHE_MIN_SIZE:
-            self._select_cache = (
-                T, float(T.flat[0]), float(T.flat[-1]), float(T.sum()), a,
+        if T.size < self._MEMO_MIN_SIZE:
+            return compute(T)
+        fp = self._fingerprint(T)
+        cache = self._prop_cache
+        if cache is not None and cache[0] is T and cache[1] == fp:
+            value = cache[2].get(key)
+            if value is not None:
+                return value
+        else:
+            cache = (T, fp, {})
+            self._prop_cache = cache
+        value = compute(T)
+        value.flags.writeable = False
+        cache[2][key] = value
+        return value
+
+    # -- branch-blended NASA-7 evaluation ------------------------------
+    @staticmethod
+    def _cp_branch(a, T):
+        return RU * (a[0] + T * (a[1] + T * (a[2] + T * (a[3] + T * a[4]))))
+
+    @staticmethod
+    def _h_branch(a, T):
+        poly = a[0] + T * (a[1] / 2 + T * (a[2] / 3 + T * (a[3] / 4 + T * a[4] / 5)))
+        return RU * (T * poly + a[5])
+
+    @staticmethod
+    def _s_branch(a, T, logT):
+        return RU * (
+            a[0] * logT
+            + T * (a[1] + T * (a[2] / 2 + T * (a[3] / 3 + T * a[4] / 4)))
+            + a[6]
+        )
+
+    def _blend(self, T, branch, *extra):
+        """Evaluate ``branch`` on both ranges per species, select by t_mid."""
+        out = np.empty((self.n_species,) + T.shape)
+        for i in range(self.n_species):
+            out[i] = np.where(
+                T < self._tmid[i],
+                branch(self._lo[i], T, *extra),
+                branch(self._hi[i], T, *extra),
             )
-        return a, T
+        return out
 
     def cp_molar(self, T):
         """Species isobaric heat capacities [J/(mol K)], shape (Ns,)+S."""
-        a, T = self._select(T)
-        return RU * (a[:, 0] + T * (a[:, 1] + T * (a[:, 2] + T * (a[:, 3] + T * a[:, 4]))))
+        return self._memo(T, "cp", lambda T: self._blend(T, self._cp_branch))
 
     def enthalpy_molar(self, T):
         """Species molar enthalpies [J/mol], shape (Ns,)+S."""
-        a, T = self._select(T)
-        poly = a[:, 0] + T * (
-            a[:, 1] / 2 + T * (a[:, 2] / 3 + T * (a[:, 3] / 4 + T * a[:, 4] / 5))
-        )
-        return RU * (T * poly + a[:, 5])
+        return self._memo(T, "h", lambda T: self._blend(T, self._h_branch))
 
     def entropy_molar(self, T):
         """Species standard molar entropies [J/(mol K)], shape (Ns,)+S."""
-        a, T = self._select(T)
-        return RU * (
-            a[:, 0] * np.log(T)
-            + T * (a[:, 1] + T * (a[:, 2] / 2 + T * (a[:, 3] / 3 + T * a[:, 4] / 4)))
-            + a[:, 6]
+        return self._memo(
+            T, "s", lambda T: self._blend(T, self._s_branch, np.log(T))
         )
+
+    def enthalpy_cp_molar(self, T):
+        """Fused (h_molar, cp_molar) for the Newton T inversions.
+
+        One range-selection mask per species serves both properties, and
+        the returned arrays are fresh and writable (the Newton loops
+        assemble residual and Jacobian into them in place), so this path
+        deliberately bypasses the memo. Values are bitwise identical to
+        the individual :meth:`enthalpy_molar` / :meth:`cp_molar` results.
+        """
+        T = np.asarray(T, dtype=float)
+        h = np.empty((self.n_species,) + T.shape)
+        cp = np.empty((self.n_species,) + T.shape)
+        for i in range(self.n_species):
+            lo, hi = self._lo[i], self._hi[i]
+            mask = T < self._tmid[i]
+            h[i] = np.where(mask, self._h_branch(lo, T), self._h_branch(hi, T))
+            cp[i] = np.where(mask, self._cp_branch(lo, T), self._cp_branch(hi, T))
+        return h, cp
 
     def gibbs_over_rt(self, T):
         """Dimensionless Gibbs energies g_i/(Ru T), shape (Ns,)+S."""

@@ -92,6 +92,15 @@ class SolverConfig:
         reference); ``None`` (default) defers to the
         ``REPRO_RHS_ENGINE`` environment switch, falling back to
         ``"batched"``.
+    rhs_backend:
+        Array backend for the hot RHS kernels: ``"numpy"`` (the
+        bitwise-pinned reference), ``"numba"`` (fused JIT kernels), or
+        ``"torch"`` (tensor programs with device selection); ``None``
+        (default) defers to the ``REPRO_RHS_BACKEND`` environment
+        switch, falling back to ``"numpy"``. Validation checks only
+        that the *name* is registered — availability of the optional
+        package is checked when the RHS is built (see
+        :func:`repro.backend.resolve_backend`).
     telemetry:
         ``True`` — give the solver a fresh recording
         :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
@@ -146,6 +155,7 @@ class SolverConfig:
     filter_alpha: float = 0.2
     scheme: str = "rkf45"
     rhs_engine: str | None = None
+    rhs_backend: str | None = None
     telemetry: bool | None = None
     observability: object = None
     chem_load_balance: str | None = None
@@ -175,6 +185,10 @@ class SolverConfig:
                 raise ValueError(
                     f"unknown rhs_engine {self.rhs_engine!r}; choose from {ENGINES}"
                 )
+        if self.rhs_backend is not None:
+            from repro.backend import validate_backend_name
+
+            validate_backend_name(self.rhs_backend)  # raises on unknown name
         if self.observability is not None:
             from repro.observability import resolve_mode
 

@@ -45,7 +45,7 @@ class FilterOperator:
     """Explicit 10th-order low-pass filter along one direction."""
 
     def __init__(self, n: int, periodic: bool = False, alpha: float = 1.0,
-                 telemetry=None):
+                 telemetry=None, backend=None):
         self.n = int(n)
         self.periodic = bool(periodic)
         # kernel tracing: None when disabled — one attribute test per apply
@@ -68,7 +68,21 @@ class FilterOperator:
             / 2.0 ** (2 * j)
             for j in range(1, FILTER_HALF_WIDTH)
         ]
+        # the boundary rows as one rectangular matrix (row j-1 holds the
+        # half-width-j filter left-aligned) — the layout fused kernels take
+        self._bweights_padded = np.zeros(
+            (FILTER_HALF_WIDTH - 1, 2 * FILTER_HALF_WIDTH + 1)
+        )
+        for j in range(1, FILTER_HALF_WIDTH):
+            self._bweights_padded[j - 1, : 2 * j + 1] = self._boundary_weights[j - 1]
         self._scratch: dict = {}
+        # fused backend sweep (None -> generic reference path)
+        self.backend = backend
+        self._kernel = None
+        if backend is not None and not backend.is_reference:
+            self._kernel = backend.kernel(
+                "filter_periodic" if self.periodic else "filter_boundary"
+            )
 
     def _buffer(self, name: str, shape) -> np.ndarray:
         key = (name, shape)
@@ -93,12 +107,41 @@ class FilterOperator:
             raise ValueError(f"out has shape {out.shape}, expected {f.shape}")
         if self.telemetry is not None:
             with self.telemetry.span("FILTER", points=f.size):
-                self._apply_axis0(np.moveaxis(f, axis, 0), np.moveaxis(out, axis, 0))
+                self._dispatch(f, axis, out)
         else:
-            self._apply_axis0(np.moveaxis(f, axis, 0), np.moveaxis(out, axis, 0))
+            self._dispatch(f, axis, out)
         return out
 
     __call__ = apply
+
+    def _dispatch(self, f, axis, out):
+        src = np.moveaxis(f, axis, 0)
+        dst = np.moveaxis(out, axis, 0)
+        if self._kernel is None:
+            return self._apply_axis0(src, dst)
+        # fused backend sweep on contiguous (n, m) views; the kernels read
+        # the whole source while writing the destination, so staging covers
+        # both strided moved views and the documented out-aliases-f case
+        n = self.n
+        if src.flags.c_contiguous:
+            f2 = src.reshape(n, -1)
+        else:
+            tmp = self._buffer("ksrc", src.shape)
+            np.copyto(tmp, src)
+            f2 = tmp.reshape(n, -1)
+        stage = not dst.flags.c_contiguous or np.may_share_memory(out, f)
+        if stage:
+            dbuf = self._buffer("kdst", dst.shape)
+            d2 = dbuf.reshape(n, -1)
+        else:
+            d2 = dst.reshape(n, -1)
+        if self.periodic:
+            self._kernel(f2, self.weights, d2)
+        else:
+            self._kernel(f2, self.weights, self._bweights_padded, d2)
+        if stage:
+            np.copyto(dst, dbuf)
+        return None
 
     def _apply_axis0(self, f, out):
         n, w = self.n, FILTER_HALF_WIDTH
@@ -143,10 +186,10 @@ class FilterOperator:
         np.subtract(f, corr, out=out)
 
 
-def filter_operators(grid, alpha: float = 1.0, telemetry=None):
+def filter_operators(grid, alpha: float = 1.0, telemetry=None, backend=None):
     """One :class:`FilterOperator` per grid direction."""
     return [
         FilterOperator(grid.shape[axis], periodic=grid.periodic[axis], alpha=alpha,
-                       telemetry=telemetry)
+                       telemetry=telemetry, backend=backend)
         for axis in range(grid.ndim)
     ]

@@ -45,6 +45,7 @@ import os
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.derivatives import gradient_operators
 from repro.core.kernels import species_diffusive_flux_dir
 from repro.core import nscbc
@@ -95,6 +96,14 @@ class CompressibleRHS:
     engine:
         ``"batched"`` (default) or ``"naive"``; when None the
         ``REPRO_RHS_ENGINE`` environment variable decides.
+    backend:
+        Array backend executing the hot kernels: an
+        :class:`~repro.backend.ArrayBackend` instance, a registered name
+        (``"numpy"``, ``"numba"``, ``"torch"``), or None — in which case
+        the ``REPRO_RHS_BACKEND`` environment variable decides, falling
+        back to the bitwise-pinned NumPy reference. Non-reference
+        backends require the batched engine (the naive engine is the
+        reference oracle and stays pure NumPy by definition).
     workspace:
         Optional shared :class:`~repro.core.workspace.Workspace`; by
         default each RHS owns a private arena.
@@ -121,7 +130,7 @@ class CompressibleRHS:
 
     def __init__(self, state, transport=None, boundaries=None, reacting=True,
                  telemetry=None, engine=None, workspace=None,
-                 reaction_delegate=None):
+                 reaction_delegate=None, backend=None):
         self.state = state
         self.mech = state.mech
         self.grid = state.grid
@@ -129,7 +138,10 @@ class CompressibleRHS:
         self.boundaries = dict(boundaries or {})
         self.reacting = bool(reacting)
         self.telemetry = resolve_telemetry(telemetry)
-        self.ops = gradient_operators(self.grid, telemetry=self.telemetry)
+        self.backend = resolve_backend(backend)
+        self.ops = gradient_operators(
+            self.grid, telemetry=self.telemetry, backend=self.backend
+        )
         self.ndim = self.grid.ndim
         self._needs_nscbc = any(
             spec.kind != "periodic" for spec in self.boundaries.values()
@@ -138,10 +150,16 @@ class CompressibleRHS:
             engine = os.environ.get("REPRO_RHS_ENGINE") or "batched"
         if engine not in ENGINES:
             raise ValueError(f"unknown RHS engine {engine!r}; choose from {ENGINES}")
+        if engine == "naive" and not self.backend.is_reference:
+            raise ValueError(
+                f"RHS backend {self.backend.name!r} requires the batched engine; "
+                "the naive engine is the bitwise reference oracle"
+            )
         self.engine = engine
         self.workspace = workspace if workspace is not None else Workspace(
-            telemetry=self.telemetry
+            telemetry=self.telemetry, backend=self.backend
         )
+        self.telemetry.gauge(f"rhs.backend.{self.backend.name}").set(1.0)
         self.reaction_delegate = reaction_delegate
         self._props_cache = None
         #: populated after every evaluation — kernel-level diagnostics
@@ -191,15 +209,16 @@ class CompressibleRHS:
         ):
             self.telemetry.counter("rhs.props_cache_hits").inc()
             return cache
-        ws = self.workspace
+        be = self.backend
+        ws = self.workspace.bind(be)
         with self.telemetry.span("THERMOPROPS"):
-            rho, vel, T, p, Y, e0, wbar = st.primitives_ws(u, ws)
+            rho, vel, T, p, Y, e0, wbar = st.primitives_ws(u, ws, backend=be)
             props = None
             if self.transport is not None:
-                props = self.transport.evaluate(T, p, Y, workspace=ws)
+                props = be.transport_evaluate(self.transport, T, p, Y, workspace=ws)
             h_i = None
             if self.transport is not None or (self.reacting and self.mech.n_reactions):
-                h_i = self.mech.species_enthalpy_mass(T)
+                h_i = be.species_enthalpy_mass(self.mech, T)
         pc = _EvalProps()
         pc.u, pc.version, pc.fingerprint = u, st.version, fp
         pc.rho, pc.vel, pc.T, pc.p, pc.Y, pc.e0, pc.wbar = rho, vel, T, p, Y, e0, wbar
@@ -215,7 +234,7 @@ class CompressibleRHS:
         mech = self.mech
         ndim = self.ndim
         tel = self.telemetry
-        ws = self.workspace
+        ws = self.workspace.bind(self.backend)
         ws.begin_eval()
         u = np.asarray(u, dtype=float)
         if out is not None:
@@ -386,7 +405,7 @@ class CompressibleRHS:
                 wdot_mass = self.reaction_delegate(self, t, rho, T, Y)
             else:
                 with tel.span("REACTION_RATES"):
-                    wdot_mass = mech.production_rates(rho, T, Y)
+                    wdot_mass = self.backend.production_rates(mech, rho, T, Y)
             if wdot_mass is not None:
                 du[st.species_slice] += wdot_mass[:nt]
                 hr = ws.array("rhs.heat_release", S)
@@ -415,6 +434,14 @@ class CompressibleRHS:
                 rho=rho, vel=vel, T=T, p=p, Y=Y,
                 grad_rho=grad_rho, grad_p=grad_p,
                 grad_vel=grad_vel, grad_y=gy,
+            )
+        if not self.backend.is_reference:
+            # JIT effort so far (first evaluation pays the compiles)
+            tel.gauge("rhs.backend.compile_count").set(
+                float(self.backend.compile_count)
+            )
+            tel.gauge("rhs.backend.compile_seconds").set(
+                self.backend.compile_seconds
             )
         ws.end_eval()
         return du

@@ -52,11 +52,12 @@ class S3DSolver:
         self.rhs = CompressibleRHS(
             state, transport=transport, boundaries=config.boundaries,
             reacting=reacting, telemetry=self.telemetry,
-            engine=config.rhs_engine,
+            engine=config.rhs_engine, backend=config.rhs_backend,
         )
         self.integrator = ERKIntegrator(config.scheme)
         self.filters = filter_operators(state.grid, alpha=config.filter_alpha,
-                                        telemetry=self.telemetry)
+                                        telemetry=self.telemetry,
+                                        backend=self.rhs.backend)
         self.time = 0.0
         self.step_count = 0
         self.timers = TimerRegistry(telemetry=self.telemetry)

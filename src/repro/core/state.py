@@ -159,7 +159,7 @@ class State:
         p = self.mech.pressure(rho, T, Y)
         return rho, vel, T, p, Y, e0
 
-    def primitives_ws(self, u, workspace):
+    def primitives_ws(self, u, workspace, backend=None):
         """Workspace-backed :meth:`primitives`, plus the mean weight.
 
         Decodes into pooled scratch arrays (zero large allocations once
@@ -168,6 +168,10 @@ class State:
         from the pressure evaluation and the batched RHS needs it for
         the diffusion-driving d(ln wbar)/dx sweeps. Bitwise identical to
         :meth:`primitives`.
+
+        ``backend``, when given, routes the Newton temperature inversion
+        through :meth:`~repro.backend.ArrayBackend.temperature_from_energy`
+        (the reference backend's hook is the host solve itself).
         """
         ws = workspace
         u = self.u if u is None else u
@@ -202,7 +206,10 @@ class State:
         guess = self._t_cache if (
             self._t_cache is not None and self._t_cache.shape == S
         ) else None
-        T = self.mech.temperature_from_energy(e_int, Y, T_guess=guess)
+        if backend is None:
+            T = self.mech.temperature_from_energy(e_int, Y, T_guess=guess)
+        else:
+            T = backend.temperature_from_energy(self.mech, e_int, Y, T_guess=guess)
         self._t_cache = T
         # p = rho Ru T / wbar with wbar = 1 / sum(Y_i / W_i)
         w = self.mech.weights.reshape((-1,) + (1,) * len(S))

@@ -58,7 +58,7 @@ class SolverRankProgram:
 
     def __init__(self, rank, mechanism, ext_shape, spacings, interior,
                  transport=None, reacting=True, filter_alpha=0.2,
-                 rhs_engine=None, defer_reactions=False,
+                 rhs_engine=None, rhs_backend=None, defer_reactions=False,
                  rank_telemetry=False, telemetry=None):
         self.rank = int(rank)
         if telemetry is None:
@@ -79,10 +79,11 @@ class SolverRankProgram:
         self.rhs = CompressibleRHS(self.state, transport=transport,
                                    boundaries={}, reacting=reacting,
                                    telemetry=telemetry, engine=rhs_engine,
-                                   reaction_delegate=delegate)
+                                   reaction_delegate=delegate,
+                                   backend=rhs_backend)
         self.filters = [
             FilterOperator(n, periodic=False, alpha=filter_alpha,
-                           telemetry=telemetry)
+                           telemetry=telemetry, backend=self.rhs.backend)
             for n in ext_shape
         ]
         self.interior = tuple(interior)
@@ -220,6 +221,12 @@ class ParallelPeriodicSolver:
         ``REPRO_RHS_ENGINE`` environment switch). Both engines are
         bitwise identical, so the serial-equivalence guarantee holds for
         either.
+    rhs_backend:
+        Array-backend name forwarded to every per-rank RHS (None defers
+        to the ``REPRO_RHS_BACKEND`` environment switch; see
+        :mod:`repro.backend`). Names, not instances, cross the
+        transport boundary — each rank process resolves its own backend
+        and JIT caches.
     chem_load_balance:
         Chemistry dynamic-load-balancing policy (``"off"``, ``"greedy"``,
         ``"pairwise-diffusion"``; None defers to the ``REPRO_CHEM_LB``
@@ -253,6 +260,7 @@ class ParallelPeriodicSolver:
     def __init__(self, mechanism, grid, decomp, world=None, transport=None,
                  reacting=True, scheme="ck45", filter_alpha=0.2,
                  filter_interval=1, telemetry=None, rhs_engine=None,
+                 rhs_backend=None,
                  chem_load_balance=None, chemlb_threshold=1.1,
                  chemlb_cost_model=None, chemlb_work_model=None,
                  rank_telemetry=False, observability=None,
@@ -300,7 +308,8 @@ class ParallelPeriodicSolver:
         # world with exactly the original construction arguments
         self._build_params = dict(transport=transport, reacting=reacting,
                                   filter_alpha=filter_alpha,
-                                  rhs_engine=rhs_engine)
+                                  rhs_engine=rhs_engine,
+                                  rhs_backend=rhs_backend)
         # species layout of the conserved array, needed driver-side to
         # add balanced reaction sources without per-rank State objects
         self._n_transported = mechanism.n_species - 1
@@ -326,8 +335,8 @@ class ParallelPeriodicSolver:
         per_rank_args = [
             (self.mech, self.halo.extended_shape(rank), self.spacings,
              self.halo.interior_slices(rank), p["transport"], p["reacting"],
-             p["filter_alpha"], p["rhs_engine"], self._defer,
-             self._rank_telemetry)
+             p["filter_alpha"], p["rhs_engine"], p["rhs_backend"],
+             self._defer, self._rank_telemetry)
             for rank in range(self.decomp.size)
         ]
         if self._rank_telemetry:
@@ -363,6 +372,7 @@ class ParallelPeriodicSolver:
             filter_interval=config.filter_interval,
             filter_alpha=config.filter_alpha,
             rhs_engine=config.rhs_engine,
+            rhs_backend=config.rhs_backend,
             chem_load_balance=config.chem_load_balance,
             observability=config.observability,
             telemetry=tel,
