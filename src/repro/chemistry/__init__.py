@@ -13,7 +13,11 @@ This package reimplements the parts S3D uses:
   (2004) H2/air mechanism used for the lifted-flame DNS of §6 and global
   methane chemistry for the Bunsen configuration of §7,
 * zero-dimensional reactors for ignition-delay studies
-  (:mod:`repro.chemistry.zerod`).
+  (:mod:`repro.chemistry.zerod`),
+* the analytical sparse source-term Jacobian
+  (:mod:`repro.chemistry.jacobian`) and the per-cell implicit stiff
+  integrators behind Strang splitting
+  (:mod:`repro.chemistry.implicit`).
 
 All public interfaces are SI (kg, m, s, K, J, mol); concentrations are
 mol/m^3 and production rates mol/(m^3 s).
@@ -36,6 +40,15 @@ from repro.chemistry.mechanisms import (
     ch4_jl4,
 )
 from repro.chemistry.zerod import ConstPressureReactor, ConstVolumeReactor, ignition_delay
+from repro.chemistry.jacobian import JacobianPattern, SourceTermJacobian
+from repro.chemistry.implicit import (
+    CHEMISTRY_MODES,
+    METHODS,
+    ImplicitChemistry,
+    ImplicitStats,
+    resolve_chemistry_method,
+    resolve_chemistry_mode,
+)
 
 __all__ = [
     "Nasa7",
@@ -55,4 +68,12 @@ __all__ = [
     "ConstPressureReactor",
     "ConstVolumeReactor",
     "ignition_delay",
+    "JacobianPattern",
+    "SourceTermJacobian",
+    "CHEMISTRY_MODES",
+    "METHODS",
+    "ImplicitChemistry",
+    "ImplicitStats",
+    "resolve_chemistry_method",
+    "resolve_chemistry_mode",
 ]

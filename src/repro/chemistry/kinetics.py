@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.util.constants import RU, P_ATM
+from repro.util.reduction import axis0_sum
 
 #: Floor on log arguments to keep vectorized code NaN-free at C=0.
 _TINY = 1e-300
@@ -309,7 +310,7 @@ class KineticsEvaluator:
         over species (shape-independent, see module docstring)."""
         eff = self._tb_eff[j]
         if eff is None:
-            return C.sum(axis=0)
+            return axis0_sum(C)
         m = eff[0] * C[0]
         for i in range(1, len(eff)):
             m += eff[i] * C[i]
@@ -399,4 +400,4 @@ class KineticsEvaluator:
         """Volumetric heat release rate [W/m^3]: -Σ_i h_i(T) ω̇_i."""
         wdot = self.production_rates(T, C)
         h = self.thermo.enthalpy_molar(T)
-        return -(h * wdot).sum(axis=0)
+        return -axis0_sum(h * wdot)

@@ -19,6 +19,7 @@ from repro.chemistry.kinetics import KineticsEvaluator
 from repro.chemistry.species import element_weight
 from repro.chemistry.thermo import ThermoTable
 from repro.util.constants import RU
+from repro.util.reduction import axis0_sum
 
 
 class Mechanism:
@@ -73,7 +74,7 @@ class Mechanism:
     def mean_weight(self, Y):
         """Mixture molecular weight W [kg/mol] from mass fractions (eq. 8)."""
         w, Y = self._wshape(Y)
-        return 1.0 / (Y / w).sum(axis=0)
+        return 1.0 / axis0_sum(Y / w)
 
     def mass_to_mole(self, Y):
         """Mole fractions X_i from mass fractions Y_i (eq. 9)."""
@@ -84,7 +85,7 @@ class Mechanism:
     def mole_to_mass(self, X):
         """Mass fractions Y_i from mole fractions X_i (eq. 9)."""
         w, X = self._wshape(X)
-        wbar = (X * w).sum(axis=0)
+        wbar = axis0_sum(X * w)
         return X * w / wbar[None]
 
     def concentrations(self, rho, Y):
@@ -132,7 +133,7 @@ class Mechanism:
         """Mixture isobaric heat capacity [J/(kg K)]."""
         w, Y = self._wshape(Y)
         cp = self.thermo.cp_molar(T) / w
-        return (cp * Y).sum(axis=0)
+        return axis0_sum(cp * Y)
 
     def cv_mass(self, T, Y):
         """Mixture isochoric heat capacity [J/(kg K)]: cp - Ru/W."""
@@ -142,7 +143,7 @@ class Mechanism:
         """Mixture specific enthalpy [J/kg] (sensible + chemical)."""
         w, Y = self._wshape(Y)
         h = self.thermo.enthalpy_molar(T) / w
-        return (h * Y).sum(axis=0)
+        return axis0_sum(h * Y)
 
     def species_enthalpy_mass(self, T):
         """Per-species specific enthalpies h_i [J/kg], shape (Ns,)+S."""
@@ -169,7 +170,7 @@ class Mechanism:
         # the residual in place — same operations, same bits, no
         # per-iteration (Ns,)+S temporaries.
         w, Y = self._wshape(Y)
-        r = RU / (1.0 / (Y / w).sum(axis=0))
+        r = RU / (1.0 / axis0_sum(Y / w))
         for _ in range(max_iter):
             # fused residual + Jacobian pass: h and cp from one
             # range-selection sweep, assembled in place into the fresh
@@ -178,13 +179,13 @@ class Mechanism:
             # resid = int_energy_mass - e = (enthalpy_mass - r T) - e
             h /= w
             h *= Y
-            resid = h.sum(axis=0)
+            resid = axis0_sum(h)
             resid -= r * T
             resid -= e
             # cv = cp_mass - r
             cp /= w
             cp *= Y
-            cv = cp.sum(axis=0)
+            cv = axis0_sum(cp)
             cv -= r
             dT = resid
             dT /= cv
@@ -207,11 +208,11 @@ class Mechanism:
             hm, cpm = self.thermo.enthalpy_cp_molar(T)
             hm /= w
             hm *= Y
-            resid = hm.sum(axis=0)
+            resid = axis0_sum(hm)
             resid -= h
             cpm /= w
             cpm *= Y
-            cp = cpm.sum(axis=0)
+            cp = axis0_sum(cpm)
             dT = resid
             dT /= cp
             T -= dT

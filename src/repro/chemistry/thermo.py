@@ -184,6 +184,10 @@ class ThermoTable:
         return RU * (T * poly + a[5])
 
     @staticmethod
+    def _dcp_branch(a, T):
+        return RU * (a[1] + T * (2.0 * a[2] + T * (3.0 * a[3] + T * (4.0 * a[4]))))
+
+    @staticmethod
     def _s_branch(a, T, logT):
         return RU * (
             a[0] * logT
@@ -215,6 +219,18 @@ class ThermoTable:
         return self._memo(
             T, "s", lambda T: self._blend(T, self._s_branch, np.log(T))
         )
+
+    def cp_derivative_molar(self, T):
+        """Species heat-capacity slopes dcp/dT [J/(mol K^2)], shape (Ns,)+S.
+
+        Analytic derivative of the NASA-7 cp polynomial, branch-blended
+        like every other property. Used by the analytical source-term
+        Jacobian (:mod:`repro.chemistry.jacobian`) for the temperature
+        row; not memoized (it is evaluated once per Jacobian assembly,
+        never in the explicit RHS hot path).
+        """
+        T = np.asarray(T, dtype=float)
+        return self._blend(T, self._dcp_branch)
 
     def enthalpy_cp_molar(self, T):
         """Fused (h_molar, cp_molar) for the Newton T inversions.

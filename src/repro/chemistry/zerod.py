@@ -95,21 +95,36 @@ class ConstVolumeReactor:
         return sol.t, sol.y[0], sol.y[1:]
 
 
-def ignition_delay(mechanism, T0, p, Y0, t_end, delta_T=400.0, n_out=2000):
+def ignition_delay(mechanism, T0, p, Y0, t_end, delta_T=400.0, n_out=None,
+                   rtol=1e-8, atol=1e-12):
     """Constant-pressure ignition delay [s].
 
-    Defined as the first time the temperature exceeds ``T0 + delta_T``
-    (interpolated); returns ``numpy.inf`` if no ignition within ``t_end``.
+    Defined as the first time the temperature exceeds ``T0 + delta_T``,
+    located by a terminal :func:`scipy.integrate.solve_ivp` event — the
+    integrator root-finds the crossing inside the step that brackets it,
+    so the result is resolved to the solver tolerances rather than
+    quantized by an output-sampling grid (the old implementation
+    interpolated between ``n_out`` equispaced samples, which biased the
+    delay by up to half a sample interval). ``n_out`` is accepted for
+    backward compatibility and ignored. Returns ``numpy.inf`` if no
+    ignition within ``t_end``.
     """
     reactor = ConstPressureReactor(mechanism, p)
-    t, T, _ = reactor.integrate(T0, Y0, t_end, n_out=n_out)
-    target = T0 + delta_T
-    above = np.nonzero(T >= target)[0]
-    if above.size == 0:
+    target = float(T0) + float(delta_T)
+
+    def crossing(t, state):
+        return state[0] - target
+
+    crossing.terminal = True
+    crossing.direction = 1.0
+    y0 = np.concatenate(([float(T0)], np.asarray(Y0, dtype=float)))
+    sol = solve_ivp(
+        reactor.rhs, (0.0, float(t_end)), y0, method="LSODA",
+        events=crossing, rtol=rtol, atol=atol, dense_output=False,
+    )
+    if not sol.success:
+        raise RuntimeError(f"reactor integration failed: {sol.message}")
+    t_events = sol.t_events[0]
+    if t_events.size == 0:
         return np.inf
-    k = above[0]
-    if k == 0:
-        return float(t[0])
-    # linear interpolation for the crossing
-    frac = (target - T[k - 1]) / (T[k] - T[k - 1])
-    return float(t[k - 1] + frac * (t[k] - t[k - 1]))
+    return float(t_events[0])

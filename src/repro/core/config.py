@@ -114,6 +114,28 @@ class SolverConfig:
         Booleans map to ``"on"``/``"off"``; ``None`` (default) defers to
         the ``REPRO_OBSERVABILITY`` environment switch, falling back to
         ``"off"``. See :mod:`repro.observability`.
+    chemistry_mode:
+        How reaction source terms couple to transport: ``"explicit"``
+        (chemistry inside the ERK right-hand side — the pre-existing
+        path, bitwise unchanged) or ``"strang"`` (second-order Strang
+        operator splitting: an implicit constant-volume chemistry
+        half-step, the non-reacting ERK transport step, and a second
+        chemistry half-step — see
+        :class:`repro.chemistry.implicit.ImplicitChemistry`). ``None``
+        (default) defers to the ``REPRO_CHEMISTRY_MODE`` environment
+        switch, falling back to ``"explicit"``. With ``"strang"`` the
+        time step is no longer limited by chemical stiffness, only by
+        the acoustic/diffusive CFL. Consumed by both
+        :class:`~repro.core.solver.S3DSolver` and
+        :class:`~repro.parallel.solver.ParallelPeriodicSolver`; ignored
+        (with no chemistry objects built) when the solver is
+        non-reacting or the mechanism has no reactions.
+    chemistry_method:
+        Implicit integrator for the Strang chemistry half-steps:
+        ``"rosw2"`` (two-stage Rosenbrock-W, the default) or ``"bdf2"``
+        (variable-step BDF2 with modified Newton); ``None`` defers to
+        the ``REPRO_CHEMISTRY_METHOD`` environment switch. Only
+        meaningful with ``chemistry_mode="strang"``.
     chem_load_balance:
         Chemistry dynamic-load-balancing policy: ``"off"`` (strict
         owner-computes, the default), ``"greedy"``, or
@@ -158,6 +180,8 @@ class SolverConfig:
     rhs_backend: str | None = None
     telemetry: bool | None = None
     observability: object = None
+    chemistry_mode: str | None = None
+    chemistry_method: str | None = None
     chem_load_balance: str | None = None
     transport: str | None = None
     parallel_recovery: str | None = None
@@ -193,6 +217,22 @@ class SolverConfig:
             from repro.observability import resolve_mode
 
             resolve_mode(self.observability)  # raises on unknown mode
+        if self.chemistry_mode is not None:
+            from repro.chemistry.implicit import CHEMISTRY_MODES
+
+            if self.chemistry_mode not in CHEMISTRY_MODES:
+                raise ValueError(
+                    f"unknown chemistry_mode {self.chemistry_mode!r}; "
+                    f"choose from {CHEMISTRY_MODES}"
+                )
+        if self.chemistry_method is not None:
+            from repro.chemistry.implicit import METHODS
+
+            if self.chemistry_method not in METHODS:
+                raise ValueError(
+                    f"unknown chemistry_method {self.chemistry_method!r}; "
+                    f"choose from {METHODS}"
+                )
         if self.chem_load_balance is not None:
             from repro.parallel.chemlb import POLICIES
 

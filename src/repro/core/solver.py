@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chemistry.implicit import (
+    resolve_chemistry_method,
+    resolve_chemistry_mode,
+)
 from repro.core.erk import ERKIntegrator
 from repro.core.filters import filter_operators
 from repro.core.rhs import CompressibleRHS
+from repro.core.state import strang_apply_update, strang_reactor_inputs
 from repro import telemetry as _telemetry
 from repro.util.timers import TimerRegistry
 
@@ -49,9 +54,26 @@ class S3DSolver:
         self.state = state
         self.config = config
         self.telemetry = self._resolve_telemetry(telemetry, config)
+        self.chemistry_mode = resolve_chemistry_mode(config.chemistry_mode)
+        # Strang splitting moves chemistry out of the ERK right-hand
+        # side: the RHS is built non-reacting and an implicit per-cell
+        # integrator advances the reactors in two dt/2 half-steps around
+        # it. A non-reacting solver (or an inert mechanism) has nothing
+        # to split and keeps the plain transport path.
+        split = (self.chemistry_mode == "strang" and reacting
+                 and state.mech.n_reactions > 0)
+        self._chem = None
+        if split:
+            from repro.chemistry.implicit import ImplicitChemistry
+
+            self._chem = ImplicitChemistry(
+                state.mech, closure="constant-volume",
+                method=resolve_chemistry_method(config.chemistry_method),
+                telemetry=self.telemetry,
+            )
         self.rhs = CompressibleRHS(
             state, transport=transport, boundaries=config.boundaries,
-            reacting=reacting, telemetry=self.telemetry,
+            reacting=reacting and not split, telemetry=self.telemetry,
             engine=config.rhs_engine, backend=config.rhs_backend,
         )
         self.integrator = ERKIntegrator(config.scheme)
@@ -92,11 +114,20 @@ class S3DSolver:
         return self.rhs.stable_dt(cfl=self.config.cfl)
 
     def step(self, dt: float | None = None) -> float:
-        """Advance one time step; returns the dt used."""
+        """Advance one time step; returns the dt used.
+
+        With ``chemistry_mode="strang"`` the step is the symmetric
+        splitting chem(dt/2) → transport(dt) → chem(dt/2); otherwise a
+        single ERK step of the full (possibly reacting) RHS.
+        """
         if dt is None:
             dt = self.compute_dt()
+        if self._chem is not None:
+            self._strang_chemistry(0.5 * dt)
         with self.timers("integrate"), self.telemetry.span("INTEGRATE"):
             self.state.u = self.integrator.step(self.rhs, self.time, self.state.u, dt)
+        if self._chem is not None:
+            self._strang_chemistry(0.5 * dt)
         self.telemetry.gauge("solver.dt").set(dt)
         self.telemetry.counter("solver.steps").inc()
         self.time += dt
@@ -106,6 +137,24 @@ class S3DSolver:
             with self.timers("filter"):
                 self.apply_filter()
         return dt
+
+    def _strang_chemistry(self, half_dt: float) -> None:
+        """Advance every cell's reactor by ``half_dt`` at fixed (rho, e).
+
+        Decodes ``(rho, e_int, Y)`` from the conserved array, runs the
+        per-cell implicit constant-volume integration, and writes the
+        new species densities back. Density, momentum, and total energy
+        are untouched, so the split conserves them identically; the
+        temperature change is implied by the new composition at fixed
+        internal energy.
+        """
+        st = self.state
+        mech = st.mech
+        rho_f, e_f, Y_f = strang_reactor_inputs(st.u, st.ndim, mech.n_species)
+        with self.timers("chemistry"), self.telemetry.span("CHEMISTRY_IMPLICIT"):
+            _, Y1, _ = self._chem.advance_energy(rho_f, e_f, Y_f, half_dt)
+        strang_apply_update(st.u, st.ndim, mech.n_species, Y1)
+        st.mark_modified()
 
     def apply_filter(self) -> None:
         """Apply the 10th-order filter along every direction.

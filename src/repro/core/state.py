@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.util.constants import RU
+from repro.util.reduction import axis0_sum
 
 
 class State:
@@ -249,3 +250,56 @@ class State:
         names += ["rho_e0"]
         names += [f"rho_Y_{self.mech.species_names[k]}" for k in range(self.n_transported)]
         return names
+
+
+# ---------------------------------------------------------------------------
+# Strang-split reactor coupling helpers
+# ---------------------------------------------------------------------------
+def strang_reactor_inputs(u, ndim: int, n_species: int):
+    """Decode ``(rho_flat, e_int_flat, Y_flat)`` for a chemistry half-step.
+
+    ``u`` is a conserved block ``(nvar,) + S`` — the serial solver's full
+    state array or one rank's owned interior. Mass fractions follow
+    :meth:`State.mass_fractions` exactly (clip to [0, 1], last species
+    from the sum constraint); the specific internal energy is the total
+    energy minus resolved kinetic energy. All reductions are fixed-order
+    (:func:`~repro.util.reduction.axis0_sum`), so the decoded per-cell
+    values — and therefore the reactor results — are bitwise identical
+    whether a cell is decoded from the global array or from a rank
+    block. That is what makes the serial and parallel Strang paths (and
+    any chemistry-load-balance shipping in between) agree bit for bit.
+    """
+    rho = u[0]
+    S = rho.shape
+    nt = n_species - 1
+    sl = slice(2 + ndim, 2 + ndim + nt)
+    transported = u[sl] / rho[None]
+    np.clip(transported, 0.0, 1.0, out=transported)
+    Y = np.empty((n_species,) + S)
+    Y[:nt] = transported
+    Y[nt] = np.clip(1.0 - axis0_sum(transported), 0.0, 1.0)
+    ke = None
+    for ax in range(ndim):
+        v = u[1 + ax] / rho
+        v = v * v
+        ke = v if ke is None else ke + v
+    e_int = u[1 + ndim] / rho - 0.5 * ke
+    return (
+        np.ascontiguousarray(rho.reshape(-1)),
+        np.ascontiguousarray(e_int.reshape(-1)),
+        np.ascontiguousarray(Y.reshape(n_species, -1)),
+    )
+
+
+def strang_apply_update(u, ndim: int, n_species: int, Y1) -> None:
+    """Write a chemistry half-step result back into a conserved block.
+
+    Only the transported species densities change: the reactor ran at
+    fixed ``(rho, e_int)`` and the resolved velocity is untouched, so
+    density, momentum, and total energy are conserved identically.
+    """
+    rho = u[0]
+    S = rho.shape
+    nt = n_species - 1
+    sl = slice(2 + ndim, 2 + ndim + nt)
+    u[sl] = (rho.reshape(-1)[None] * Y1[:nt]).reshape((nt,) + S)

@@ -31,14 +31,28 @@ Pieces
   ``chemlb.reply`` plus anything the ``mpi.send`` site does to the
   transport underneath) fall back to local evaluation.
 
+Two entry points share that machinery. ``production_rates`` serves the
+explicit path: helpers evaluate reaction rates, and the cost signal is
+the stiffness *proxy* (normalized max production-rate magnitude).
+``advance_states`` serves the Strang-split path
+(:class:`~repro.chemistry.implicit.ImplicitChemistry` half-steps):
+helpers run the per-cell implicit constant-volume integration, and the
+cost signal is *measured* work — each cell's accepted implicit substep
+count from the previous half-step, carried back with every shipment so
+the owner's history stays complete under any plan.
+
 Bit-exactness
 -------------
 The kinetics evaluator computes per-cell values that are bitwise
 independent of the array shape or batch size they are evaluated in
-(:mod:`repro.chemistry.kinetics`). Every policy therefore produces
-bitwise identical production rates — and the solver that consumes them
-produces bitwise identical conserved state — no matter how cells are
-shuffled between ranks, and the local fault fallback is exact as well.
+(:mod:`repro.chemistry.kinetics`), and the implicit integrator holds
+the same contract for its per-cell solves
+(:mod:`repro.chemistry.implicit`, backed by the fixed-order species
+reductions of :mod:`repro.util.reduction`). Every policy therefore
+produces bitwise identical production rates and reactor results — and
+the solver that consumes them produces bitwise identical conserved
+state — no matter how cells are shuffled between ranks, and the local
+fault fallback is exact as well.
 
 Telemetry
 ---------
@@ -343,6 +357,10 @@ class ChemistryLoadBalancer:
         #: per-cell |wdot|_max history per rank (the stiffness proxy)
         self._stiffness: list | None = None
         self._stiff_scale = 0.0
+        #: per-cell measured implicit substep counts per rank (the
+        #: Strang-path cost signal; see :meth:`advance_states`)
+        self._work: list | None = None
+        self._work_scale = 0.0
         self._eval_seq = 0
         self.rank_seconds = np.zeros(world.size)
         self.last_plan: AssignmentPlan | None = None
@@ -354,6 +372,8 @@ class ChemistryLoadBalancer:
     def reset_history(self) -> None:
         self._stiffness = None
         self._stiff_scale = 0.0
+        self._work = None
+        self._work_scale = 0.0
 
     def rebind(self, world) -> None:
         """Re-attach to a new transport world (the shrink recovery
@@ -376,6 +396,13 @@ class ChemistryLoadBalancer:
             return [np.zeros(n) for n in ncells]
         scale = max(self._stiff_scale, _TINY)
         return [s / scale for s in self._stiffness]
+
+    def _normalized_work(self, ncells: list) -> list:
+        """Measured per-cell substep counts, normalized to [0, 1]."""
+        if self._work is None or [len(s) for s in self._work] != ncells:
+            return [np.zeros(n) for n in ncells]
+        scale = max(self._work_scale, _TINY)
+        return [s / scale for s in self._work]
 
     # -- evaluation ------------------------------------------------------
     def _evaluate(self, rank: int, rho, T, Y):
@@ -552,3 +579,161 @@ class ChemistryLoadBalancer:
                 w.reshape((ns,) + shape)
                 for w, shape in zip(wdot_flat, shapes)
             ]
+
+    # -- Strang-split implicit chemistry --------------------------------
+    def _advance_eval(self, rank: int, rho, e, Y, dt: float, integrator):
+        """Advance one reactor batch, attributing wall time to ``rank``.
+
+        Returns ``(T1, Y1, substeps)`` with the integrator's measured
+        per-cell accepted substep counts as float — the cost signal fed
+        back into the next plan.
+        """
+        if rho.size == 0:
+            ns = self.mech.n_species
+            return np.empty(0), np.empty((ns, 0)), np.empty(0)
+        t0 = time.perf_counter()
+        T1, Y1, stats = integrator.advance_energy(rho, e, Y, dt)
+        self.rank_seconds[rank] += time.perf_counter() - t0
+        return T1, Y1, stats.substeps.astype(float)
+
+    def _serve_states(self, seq: int, sh: Shipment, dt: float, integrator) -> None:
+        """Helper side: advance an incoming reactor batch, return results."""
+        ns = self.mech.n_species
+        comm = self.world.comm(sh.dst)
+        try:
+            while comm.probe(source=sh.src, tag=TAG_SHIP + seq):
+                packet = comm.Recv(source=sh.src, tag=TAG_SHIP + seq)
+                got = self._unpack(packet, per_cell=2 + ns)
+                if got is None:
+                    continue  # corrupt or stale: drain and keep looking
+                n, body = got
+                rho, e = body[:n], body[n : 2 * n]
+                Y = body[2 * n :].reshape(ns, n)
+                T1, Y1, sub = self._advance_eval(sh.dst, rho, e, Y, dt, integrator)
+                reply = self._pack(
+                    np.concatenate([T1, Y1.ravel(), sub]), n
+                )
+                faults = self.world.faults
+                if faults.enabled:
+                    spec = faults.decide("chemlb.reply")
+                    if spec is not None:
+                        if spec.mode == "drop":
+                            return
+                        if spec.mode == "corrupt":
+                            raw = faults.corrupt_bytes(reply[3:].tobytes())
+                            reply = np.concatenate(
+                                (reply[:3], np.frombuffer(raw, dtype=float))
+                            )
+                comm.Send(reply, dest=sh.src, tag=TAG_RESULT + seq)
+                return
+        except (MessageNotFoundError, RankFailedError):
+            return
+
+    def _collect_states(self, seq: int, sh: Shipment, dt: float, integrator,
+                        flat, T_out, Y_out, sub_out) -> None:
+        """Source side: receive reactor results or fall back locally."""
+        ns = self.mech.n_species
+        idx = sh.indices
+        comm = self.world.comm(sh.src)
+        try:
+            while comm.probe(source=sh.dst, tag=TAG_RESULT + seq):
+                reply = comm.Recv(source=sh.dst, tag=TAG_RESULT + seq)
+                got = self._unpack(reply, per_cell=2 + ns)
+                if got is None:
+                    continue  # corrupt or stale: drain and keep looking
+                n, body = got
+                T_out[sh.src][idx] = body[:n]
+                Y_out[sh.src][:, idx] = body[n : n + ns * n].reshape(ns, n)
+                sub_out[sh.src][idx] = body[n + ns * n :]
+                return
+        except (MessageNotFoundError, RankFailedError):
+            pass
+        # batch or reply lost/corrupt/delayed: advance locally — bitwise
+        # identical by the integrator's batch-shape independence
+        rho, e, Y = flat[sh.src]
+        T1, Y1, sub = self._advance_eval(
+            sh.src, rho[idx], e[idx], Y[:, idx], dt, integrator
+        )
+        T_out[sh.src][idx] = T1
+        Y_out[sh.src][:, idx] = Y1
+        sub_out[sh.src][idx] = sub
+        self._c_fallbacks.inc()
+
+    def advance_states(self, states: list, dt: float, integrator) -> list:
+        """Balanced per-cell implicit chemistry advance for all ranks.
+
+        ``states`` holds one flat ``(rho, e_int, Y)`` tuple per rank
+        (cells on the last axis, ``Y`` with leading species axis) — the
+        Strang half-step inputs produced by
+        :func:`repro.core.state.strang_reactor_inputs`. Every cell's
+        reactor is advanced by ``dt`` through
+        ``integrator.advance_energy`` (an
+        :class:`~repro.chemistry.implicit.ImplicitChemistry` with the
+        constant-volume closure) on exactly one rank, and the results
+        return to the owner. Returns one ``(T1, Y1)`` pair per rank —
+        bitwise identical for every policy, because the implicit
+        integrator's per-cell results are independent of the batch they
+        are evaluated in.
+
+        Unlike :meth:`production_rates`, the cost signal here is
+        *measured* work: each cell's accepted implicit substep count
+        from the previous half-step (normalized against the hottest
+        cell) feeds :meth:`CellCostModel.cell_costs`. Shipments carry
+        the helper-measured substep counts back with the results, so the
+        owner's work history stays complete under any plan. The first
+        call has no history, so every policy starts with local
+        evaluation — exactly the cold-start behaviour of the explicit
+        path's stiffness proxy.
+        """
+        ns = self.mech.n_species
+        with self.telemetry.span("CHEMLB"):
+            self._eval_seq += 1
+            flat = [
+                (
+                    np.ascontiguousarray(np.asarray(rho, dtype=float).ravel()),
+                    np.ascontiguousarray(np.asarray(e, dtype=float).ravel()),
+                    np.ascontiguousarray(
+                        np.asarray(Y, dtype=float).reshape(ns, -1)
+                    ),
+                )
+                for rho, e, Y in states
+            ]
+            ncells = [t[0].size for t in flat]
+            work = self._normalized_work(ncells)
+            costs = [self.cost_model.cell_costs(w) for w in work]
+            plan = plan_assignment(
+                costs, policy=self.policy, threshold=self.threshold,
+                sweeps=self.sweeps,
+            )
+            self.last_plan = plan
+            mean = max(plan.loads_before.mean(), _TINY)
+            self._g_imbalance.set(float(plan.loads_before.max() / mean))
+            self._g_imbalance_after.set(float(plan.loads_after.max() / mean))
+            T_out = [np.empty(n) for n in ncells]
+            Y_out = [np.empty((ns, n)) for n in ncells]
+            sub_out = [np.zeros(n) for n in ncells]
+            # bulk-synchronous phases: ship, serve, local work, collect
+            # (the ship body layout (rho, e, Y) matches the explicit
+            # path's (rho, T, Y), so _ship is shared verbatim)
+            for seq, sh in enumerate(plan.shipments):
+                self._ship(seq, sh, flat)
+            for seq, sh in enumerate(plan.shipments):
+                self._serve_states(seq, sh, dt, integrator)
+            for rank, (rho, e, Y) in enumerate(flat):
+                keep = plan.retained[rank]
+                T1, Y1, sub = self._advance_eval(
+                    rank, rho[keep], e[keep], Y[:, keep], dt, integrator
+                )
+                T_out[rank][keep] = T1
+                Y_out[rank][:, keep] = Y1
+                sub_out[rank][keep] = sub
+            for seq, sh in enumerate(plan.shipments):
+                self._collect_states(
+                    seq, sh, dt, integrator, flat, T_out, Y_out, sub_out
+                )
+            # refresh the measured-work history for the next plan
+            self._work = sub_out
+            self._work_scale = max(
+                (float(s.max()) for s in sub_out if s.size), default=0.0
+            )
+            return [(T_out[r], Y_out[r]) for r in range(len(flat))]

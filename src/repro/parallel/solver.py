@@ -22,12 +22,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chemistry.implicit import (
+    ImplicitChemistry,
+    resolve_chemistry_method,
+    resolve_chemistry_mode,
+)
 from repro.core.derivatives import DerivativeOperator, HALF_WIDTH
 from repro.core.filters import FilterOperator, FILTER_HALF_WIDTH
 from repro.core.erk import SCHEMES
 from repro.core.grid import Grid
 from repro.core.rhs import CompressibleRHS
-from repro.core.state import State
+from repro.core.state import State, strang_apply_update, strang_reactor_inputs
 from repro.parallel import chemlb
 from repro.parallel.comm import create_transport
 from repro.parallel.halo import HaloExchanger
@@ -227,16 +232,28 @@ class ParallelPeriodicSolver:
         :mod:`repro.backend`). Names, not instances, cross the
         transport boundary — each rank process resolves its own backend
         and JIT caches.
+    chemistry_mode, chemistry_method:
+        Chemistry coupling (``"explicit"`` or ``"strang"``) and the
+        implicit integrator for Strang half-steps (``"rosw2"`` or
+        ``"bdf2"``); None defers to ``REPRO_CHEMISTRY_MODE`` /
+        ``REPRO_CHEMISTRY_METHOD``. With ``"strang"`` the rank RHS is
+        built non-reacting and the driver runs implicit chemistry
+        half-steps around the RK transport step, exactly as the serial
+        solver does; per-cell implicit results are bitwise independent
+        of batch shape, so serial equivalence survives the split.
     chem_load_balance:
         Chemistry dynamic-load-balancing policy (``"off"``, ``"greedy"``,
         ``"pairwise-diffusion"``; None defers to the ``REPRO_CHEM_LB``
-        environment switch). When active, per-rank RHS evaluations defer
-        their reaction source terms and a
+        environment switch). When active in explicit mode, per-rank RHS
+        evaluations defer their reaction source terms and a
         :class:`~repro.parallel.chemlb.ChemistryLoadBalancer` evaluates
         the owned interior cells instead, shipping batches from
-        over-threshold ranks to underloaded ones. Per-cell kinetics are
+        over-threshold ranks to underloaded ones; in strang mode the
+        balancer ships whole per-cell implicit solves, costed by each
+        cell's measured substep count from the previous half-step.
+        Per-cell kinetics and implicit integration are
         shape-independent, so conserved state stays bitwise identical to
-        ``"off"`` for every policy.
+        ``"off"`` for every policy in either mode.
     chemlb_threshold, chemlb_cost_model, chemlb_work_model:
         Forwarded to the balancer (imbalance trigger, per-cell cost
         model, optional stiffness work emulation).
@@ -261,6 +278,7 @@ class ParallelPeriodicSolver:
                  reacting=True, scheme="ck45", filter_alpha=0.2,
                  filter_interval=1, telemetry=None, rhs_engine=None,
                  rhs_backend=None,
+                 chemistry_mode=None, chemistry_method=None,
                  chem_load_balance=None, chemlb_threshold=1.1,
                  chemlb_cost_model=None, chemlb_work_model=None,
                  rank_telemetry=False, observability=None,
@@ -291,6 +309,16 @@ class ParallelPeriodicSolver:
         self.halo = HaloExchanger(decomp, world, width=DEEP_HALO,
                                   telemetry=self.telemetry)
         self.spacings = [grid.spacing(a) for a in range(grid.ndim)]
+        self.chemistry_mode = resolve_chemistry_mode(chemistry_mode)
+        split = (self.chemistry_mode == "strang" and reacting
+                 and mechanism.n_reactions > 0)
+        self._strang_chem = None
+        if split:
+            self._strang_chem = ImplicitChemistry(
+                mechanism, closure="constant-volume",
+                method=resolve_chemistry_method(chemistry_method),
+                telemetry=self.telemetry,
+            )
         policy = chemlb.resolve_policy(chem_load_balance)
         self.chemlb = None
         if policy != "off" and reacting and mechanism.n_reactions:
@@ -299,14 +327,18 @@ class ParallelPeriodicSolver:
                 cost_model=chemlb_cost_model, threshold=chemlb_threshold,
                 work_model=chemlb_work_model, telemetry=self.telemetry,
             )
-        # when balancing, rank RHS defers its reaction sources: the
-        # program stashes (rho, T, Y), returns them with the du block,
-        # and _rhs_all adds balanced wdot to the owned interior instead
-        self._defer = self.chemlb is not None
+        # when balancing in explicit mode, rank RHS defers its reaction
+        # sources: the program stashes (rho, T, Y), returns them with
+        # the du block, and _rhs_all adds balanced wdot to the owned
+        # interior instead. In strang mode chemistry never enters the
+        # RHS — the balancer (if any) ships whole implicit cell solves
+        # from the driver-side half-steps instead.
+        self._defer = self.chemlb is not None and not split
         self._rank_telemetry = bool(rank_telemetry)
         # kept so recovery can rebuild rank programs on a new or revived
         # world with exactly the original construction arguments
-        self._build_params = dict(transport=transport, reacting=reacting,
+        self._build_params = dict(transport=transport,
+                                  reacting=reacting and not split,
                                   filter_alpha=filter_alpha,
                                   rhs_engine=rhs_engine,
                                   rhs_backend=rhs_backend)
@@ -355,9 +387,10 @@ class ParallelPeriodicSolver:
 
         Maps the config fields the parallel solver understands —
         ``scheme``, ``filter_interval``, ``filter_alpha``,
-        ``rhs_engine``, ``chem_load_balance``, ``observability``, and
-        ``transport`` (the communication backend, forwarded as
-        ``comm_transport``). Extra keyword arguments override.
+        ``rhs_engine``, ``chemistry_mode``, ``chemistry_method``,
+        ``chem_load_balance``, ``observability``, and ``transport``
+        (the communication backend, forwarded as ``comm_transport``).
+        Extra keyword arguments override.
         """
         from repro import telemetry as _telemetry
 
@@ -373,6 +406,8 @@ class ParallelPeriodicSolver:
             filter_alpha=config.filter_alpha,
             rhs_engine=config.rhs_engine,
             rhs_backend=config.rhs_backend,
+            chemistry_mode=config.chemistry_mode,
+            chemistry_method=config.chemistry_method,
             chem_load_balance=config.chem_load_balance,
             observability=config.observability,
             telemetry=tel,
@@ -415,7 +450,16 @@ class ParallelPeriodicSolver:
         return out
 
     def step(self, dt: float) -> None:
-        """One low-storage RK step across all ranks."""
+        """One time step across all ranks.
+
+        With ``chemistry_mode="strang"``: chem(dt/2) → transport RK
+        step → chem(dt/2), mirroring the serial solver's split exactly
+        (the chemistry is per-cell and batch-shape independent, so the
+        rank decomposition cannot perturb it); otherwise one low-storage
+        RK step of the full RHS.
+        """
+        if self._strang_chem is not None:
+            self._strang_chemistry(0.5 * dt)
         sch = self.scheme
         with self.telemetry.span("INTEGRATE"):
             u = [np.array(b, copy=True) for b in self.locals]
@@ -427,10 +471,38 @@ class ParallelPeriodicSolver:
                     du[r] += dt * rhs_blocks[r]
                     u[r] += sch.b[i] * du[r]
         self.locals = u
+        if self._strang_chem is not None:
+            self._strang_chemistry(0.5 * dt)
         self.time += dt
         self.step_count += 1
         if self.filter_interval and self.step_count % self.filter_interval == 0:
             self.apply_filter()
+
+    def _strang_chemistry(self, half_dt: float) -> None:
+        """Advance every rank block's reactors by ``half_dt``.
+
+        Each block decodes ``(rho, e_int, Y)`` exactly as the serial
+        path does; with a load balancer the per-cell implicit solves are
+        planned and shipped between ranks using the *measured* substep
+        counts of the previous half-step as the cost signal, otherwise
+        every rank just integrates its own cells.
+        """
+        mech = self.mech
+        ndim = self.grid.ndim
+        states = [strang_reactor_inputs(b, ndim, mech.n_species)
+                  for b in self.locals]
+        with self.telemetry.span("CHEMISTRY_IMPLICIT"):
+            if self.chemlb is not None:
+                results = self.chemlb.advance_states(
+                    states, half_dt, self._strang_chem
+                )
+            else:
+                results = [
+                    self._strang_chem.advance_energy(rho, e, Y, half_dt)[:2]
+                    for rho, e, Y in states
+                ]
+        for b, (_, Y1) in zip(self.locals, results):
+            strang_apply_update(b, ndim, mech.n_species, Y1)
 
     def apply_filter(self) -> None:
         extended = self.halo.exchange(self.locals, leading_axes=1)

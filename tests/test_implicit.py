@@ -1,0 +1,366 @@
+"""Implicit stiff kinetics and Strang splitting: order and invariants.
+
+Three layers of evidence that the implicit chemistry path is correct:
+
+* **0-D order of accuracy** — both per-cell integrators (Rosenbrock-W
+  and BDF2) converge at second order against a tight
+  :func:`scipy.integrate.solve_ivp` reference on post-front ignition
+  windows for H2/air and two-step methane.  The windows are chosen past
+  the thin ignition front (where any one-step error-vs-dt study is
+  meaningless) but before equilibrium (where every method is exact).
+* **1-D Strang order** — the symmetric split
+  ``chem(dt/2) -> transport(dt) -> chem(dt/2)`` on the full solver
+  converges at second order in the *outer* dt on a reacting 1-D
+  problem.  The study pins the substep count per half-step
+  (:attr:`~repro.chemistry.implicit.ImplicitChemistry.fixed_substeps`)
+  so the measured error scales with dt rather than through the adaptive
+  controller's discrete accept/reject decisions, which impose a
+  dt-independent error floor.
+* **Invariants** (Hypothesis) — determinism, batch-shape/order bitwise
+  independence, unit mass-fraction sums, and elemental conservation
+  hold on randomized flame-like states for both methods.
+
+Plus the split-vs-unsplit contract: below the explicit stability limit
+the Strang solution must agree with the explicit-chemistry solution to
+golden tolerance, and the serial/parallel + load-balancing equivalences
+of the explicit path carry over to the Strang path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as hst
+from scipy.integrate import solve_ivp
+
+from repro.chemistry import ImplicitChemistry
+from repro.core import Grid, S3DSolver, SolverConfig, State
+from repro.core.config import periodic_boundaries
+from repro.transport import ConstantLewisTransport
+from repro.util.constants import P_ATM
+
+pytestmark = pytest.mark.implicit
+
+#: acceptance window for a measured convergence order of a 2nd-order
+#: method — wide enough for pre-asymptotic drift on the coarsest pair
+ORDER_LO, ORDER_HI = 1.7, 2.7
+
+
+# ----------------------------------------------------------------------
+# 0-D order of accuracy vs a tight reference
+# ----------------------------------------------------------------------
+
+def _reference_window(mech, T0, ymap, t_skip, t_win):
+    """Integrate past the ignition front, then build a tight reference.
+
+    Returns ``(z_start, z_ref)`` where ``z = [Y_1..Y_Ns, T]``: the state
+    at ``t_skip`` and the state one window ``t_win`` later, both from
+    LSODA at rtol 1e-11/1e-12 on the same source term the implicit
+    integrators use (so the comparison isolates time-integration error).
+    """
+    ns = mech.n_species
+    stj = ImplicitChemistry(mech, closure="constant-pressure").stj
+    p = np.array([P_ATM])
+
+    def f_ode(t, zf):
+        z = zf.reshape(ns + 1, 1)
+        return stj.source(z[ns], z[:ns], p=p).ravel()
+
+    Y0 = mech.mass_fractions_from(ymap)
+    z0 = np.concatenate([Y0 / Y0.sum(), [T0]])
+    pre = solve_ivp(f_ode, (0.0, t_skip), z0, method="LSODA",
+                    rtol=1e-11, atol=1e-14)
+    assert pre.success
+    zs = pre.y[:, -1]
+    ref = solve_ivp(f_ode, (0.0, t_win), zs, method="LSODA",
+                    rtol=1e-12, atol=1e-15)
+    assert ref.success
+    return zs, ref.y[:, -1]
+
+
+def _zero_d_errors(mech, method, zs, zref, t_win, steps):
+    """Fixed-step window errors in a scaled RMS norm, one per count."""
+    ns = mech.n_species
+    integ = ImplicitChemistry(mech, closure="constant-pressure",
+                              method=method)
+    w = np.maximum(np.abs(zref), 1e-6)
+    w[-1] = np.abs(zref[-1])
+    errs = []
+    for k in steps:
+        T1, Y1, _ = integ.advance(zs[-1:].copy(), zs[:ns][:, None].copy(),
+                                  t_win, p=P_ATM, fixed_steps=k)
+        z1 = np.concatenate([Y1[:, 0], T1])
+        errs.append(float(np.sqrt((((z1 - zref) / w) ** 2).mean())))
+    return errs
+
+
+def _orders(errs):
+    return [np.log2(errs[i] / errs[i + 1]) for i in range(len(errs) - 1)]
+
+
+class TestZeroDOrder:
+    """rosw2 and bdf2 are 2nd order on both mechanisms."""
+
+    STEPS = [10, 20, 40, 80, 160]
+
+    @pytest.fixture(scope="class")
+    def h2_window(self, h2_mech):
+        # 1200 K lean H2/air: the front sits near 5e-5 s, so start the
+        # window at 6e-5 s (post-front heat release, ~2200 -> 2460 K)
+        return _reference_window(
+            h2_mech, 1200.0,
+            {"H2": 0.028522, "O2": 0.226377, "N2": 0.745101},
+            6e-5, 2e-5)
+
+    @pytest.fixture(scope="class")
+    def ch4_window(self, ch4_mech):
+        # 1800 K two-step methane: much faster front; the window spans
+        # the CO burnout shoulder (~2130 -> 2880 K)
+        return _reference_window(
+            ch4_mech, 1800.0,
+            {"CH4": 0.055, "O2": 0.22, "N2": 0.725},
+            2.5e-6, 1.5e-6)
+
+    @pytest.mark.parametrize("method", ["rosw2", "bdf2"])
+    def test_h2(self, h2_mech, h2_window, method):
+        zs, zref = h2_window
+        errs = _zero_d_errors(h2_mech, method, zs, zref, 2e-5, self.STEPS)
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+        orders = _orders(errs)
+        assert all(ORDER_LO < o < ORDER_HI for o in orders), orders
+        # asymptotic pair must be clean 2nd order
+        assert 1.9 < orders[-1] < 2.1, orders
+
+    @pytest.mark.parametrize("method", ["rosw2", "bdf2"])
+    def test_ch4(self, ch4_mech, ch4_window, method):
+        zs, zref = ch4_window
+        errs = _zero_d_errors(ch4_mech, method, zs, zref, 1.5e-6, self.STEPS)
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+        orders = _orders(errs)
+        assert all(ORDER_LO < o < ORDER_HI for o in orders), orders
+        assert 1.8 < orders[-1] < 2.2, orders
+
+
+# ----------------------------------------------------------------------
+# 1-D Strang splitting: 2nd order in the outer dt
+# ----------------------------------------------------------------------
+
+def _hot_spot_solver(mech, chemistry_mode, fixed_substeps=None):
+    """32-cell periodic 1-D H2/air domain with a Gaussian hot spot."""
+    grid = Grid((32,), (2e-3,), periodic=(True,))
+    x = grid.coords[0]
+    T = 1000.0 + 400.0 * np.exp(-((x - 1e-3) ** 2) / (2 * (2.5e-4) ** 2))
+    Y = mech.mass_fractions_from({"H2": 0.0285, "O2": 0.2264, "N2": 0.7451})
+    Yf = Y[:, None] * np.ones((1, 32))
+    rho = mech.density(P_ATM, T, Yf)
+    state = State.from_primitive(mech, grid, rho, [0.5], T, Yf)
+    cfg = SolverConfig(boundaries=periodic_boundaries(1), dt=1e-8,
+                       filter_interval=0, scheme="ck45",
+                       chemistry_mode=chemistry_mode)
+    solver = S3DSolver(state, cfg, transport=ConstantLewisTransport(mech),
+                       reacting=True)
+    if fixed_substeps is not None:
+        solver._chem.fixed_substeps = fixed_substeps
+    return solver
+
+
+def _run_strang(mech, dt, nsteps, fixed_substeps):
+    solver = _hot_spot_solver(mech, "strang", fixed_substeps)
+    for _ in range(nsteps):
+        solver.step(dt)
+    return solver.state.u
+
+
+class TestStrangOrder1D:
+    @pytest.mark.slow
+    def test_second_order_in_outer_dt(self, h2_mech):
+        # fixed substeps per half-step: the split error under study is
+        # the O(dt^2) non-commutator term, not the inner solver's
+        # adaptive-controller hysteresis (which has a dt-independent
+        # floor that would flatten the convergence curve)
+        dt0, n0 = 4e-8, 32
+        u_ref = _run_strang(h2_mech, dt0 / 16, n0 * 16, fixed_substeps=4)
+        scale = np.abs(u_ref).reshape(u_ref.shape[0], -1).max(axis=1)
+        errs = []
+        for refine in (1, 2, 4):
+            u = _run_strang(h2_mech, dt0 / refine, n0 * refine,
+                            fixed_substeps=4)
+            diff = np.abs(u - u_ref).reshape(u.shape[0], -1).max(axis=1)
+            errs.append(float((diff / np.maximum(scale, 1e-300)).max()))
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+        orders = _orders(errs)
+        assert all(1.8 < o < 2.4 for o in orders), (errs, orders)
+
+
+class TestStrangMatchesExplicit:
+    def test_golden_tolerance_below_stability_limit(self, h2_mech):
+        # dt = 2e-8 is far below the chemical stability limit of this
+        # mild initial state (max Gershgorin rate ~1.3e4 /s, so
+        # dt_chem ~ 7e-5 s): both paths resolve the same dynamics and
+        # must agree to a golden tolerance, not just qualitatively
+        dt, nsteps = 2e-8, 10
+        exp = _hot_spot_solver(h2_mech, "explicit")
+        spl = _hot_spot_solver(h2_mech, "strang")
+        for _ in range(nsteps):
+            exp.step(dt)
+            spl.step(dt)
+        _, _, T_e, _, Y_e, _ = exp.state.primitives()
+        _, _, T_s, _, Y_s, _ = spl.state.primitives()
+        assert np.abs(T_s - T_e).max() < 1e-5  # Kelvin
+        assert np.abs(Y_s - Y_e).max() < 1e-7
+
+
+# ----------------------------------------------------------------------
+# invariants on randomized flame-like states
+# ----------------------------------------------------------------------
+
+def _flame_states(mech, seed, n_cells):
+    """Mild flame-like batch: major species plus trace radicals."""
+    rng = np.random.default_rng(seed)
+    ns = mech.n_species
+    base = mech.mass_fractions_from({"H2": 0.0285, "O2": 0.2264,
+                                     "N2": 0.7451})
+    Y = base[:, None] * rng.uniform(0.8, 1.2, (ns, n_cells))
+    Y += rng.uniform(0.0, 1e-6, (ns, n_cells))  # trace radicals
+    Y /= Y.sum(axis=0)
+    T = rng.uniform(700.0, 1600.0, n_cells)
+    return T, Y
+
+
+_seeds = hst.integers(min_value=0, max_value=2**31 - 1)
+_methods = hst.sampled_from(["rosw2", "bdf2"])
+_settings = settings(max_examples=8, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestInvariants:
+    @given(seed=_seeds, method=_methods)
+    @_settings
+    def test_deterministic(self, h2_mech, seed, method):
+        T, Y = _flame_states(h2_mech, seed, 12)
+        integ = ImplicitChemistry(h2_mech, closure="constant-pressure",
+                                  method=method)
+        T1, Y1, _ = integ.advance(T.copy(), Y.copy(), 2e-8, p=P_ATM)
+        T2, Y2, _ = integ.advance(T.copy(), Y.copy(), 2e-8, p=P_ATM)
+        np.testing.assert_array_equal(T1, T2)
+        np.testing.assert_array_equal(Y1, Y2)
+
+    @given(seed=_seeds, method=_methods)
+    @_settings
+    def test_batch_order_independent(self, h2_mech, seed, method):
+        # permuting the batch permutes the answer bitwise, and a
+        # single-cell solve reproduces its batched counterpart bitwise:
+        # no cross-cell coupling leaks through the batched linear algebra
+        T, Y = _flame_states(h2_mech, seed, 12)
+        integ = ImplicitChemistry(h2_mech, closure="constant-pressure",
+                                  method=method)
+        T1, Y1, _ = integ.advance(T.copy(), Y.copy(), 2e-8, p=P_ATM)
+        perm = np.random.default_rng(seed + 1).permutation(12)
+        T1p, Y1p, _ = integ.advance(T[perm].copy(), Y[:, perm].copy(),
+                                    2e-8, p=P_ATM)
+        np.testing.assert_array_equal(T1p, T1[perm])
+        np.testing.assert_array_equal(Y1p, Y1[:, perm])
+        c = int(perm[0])
+        T1s, Y1s, _ = integ.advance(T[c:c + 1].copy(), Y[:, c:c + 1].copy(),
+                                    2e-8, p=P_ATM)
+        np.testing.assert_array_equal(T1s, T1[c:c + 1])
+        np.testing.assert_array_equal(Y1s, Y1[:, c:c + 1])
+
+    @given(seed=_seeds, method=_methods)
+    @_settings
+    def test_mass_fraction_sum_preserved(self, h2_mech, seed, method):
+        T, Y = _flame_states(h2_mech, seed, 16)
+        integ = ImplicitChemistry(h2_mech, closure="constant-pressure",
+                                  method=method)
+        _, Y1, _ = integ.advance(T, Y, 2e-8, p=P_ATM)
+        assert np.abs(Y1.sum(axis=0) - 1.0).max() < 1e-12
+
+    @given(seed=_seeds, method=_methods)
+    @_settings
+    def test_elements_conserved(self, h2_mech, seed, method):
+        T, Y = _flame_states(h2_mech, seed, 16)
+        integ = ImplicitChemistry(h2_mech, closure="constant-pressure",
+                                  method=method)
+        _, Y1, _ = integ.advance(T, Y, 2e-8, p=P_ATM)
+        z0 = h2_mech.element_mass_fractions(Y)
+        z1 = h2_mech.element_mass_fractions(Y1)
+        assert np.abs(z1 - z0).max() < 1e-12
+
+
+# ----------------------------------------------------------------------
+# parallel Strang path: serial equivalence and load-balancer invariance
+# ----------------------------------------------------------------------
+
+@pytest.mark.chemlb
+class TestParallelStrang:
+    """Strang inherits the explicit path's parallel contracts."""
+
+    NSTEPS = 3
+    DT = 1e-7
+
+    @pytest.fixture(scope="class")
+    def setup_2d(self, h2_mech):
+        mech = h2_mech
+        grid = Grid((24, 24), (2e-3, 2e-3), periodic=(True, True))
+        xx, yy = grid.meshgrid()
+        T = 900.0 + 600.0 * np.exp(
+            -((xx - 1e-3) ** 2 + (yy - 1e-3) ** 2) / (2 * (3e-4) ** 2))
+        Y = mech.mass_fractions_from({"H2": 0.0285, "O2": 0.2264,
+                                      "N2": 0.7451})
+        Yf = Y[:, None, None] * np.ones((1, 24, 24))
+        rho = mech.density(P_ATM, T, Yf)
+        state = State.from_primitive(mech, grid, rho, [1.0, 0.5], T, Yf)
+        return mech, grid, state, ConstantLewisTransport(mech)
+
+    def _run_parallel(self, setup, policy):
+        from repro.parallel import CartesianDecomposition, SimMPI
+        from repro.parallel.solver import ParallelPeriodicSolver
+
+        mech, grid, state, tr = setup
+        world = SimMPI(4)
+        decomp = CartesianDecomposition((24, 24), (2, 2),
+                                        periodic=(True, True))
+        par = ParallelPeriodicSolver(mech, grid, decomp, world,
+                                     transport=tr, reacting=True,
+                                     scheme="ck45", filter_alpha=0.2,
+                                     chemistry_mode="strang",
+                                     chem_load_balance=policy,
+                                     chemlb_threshold=1.02)
+        par.set_state(state.u)
+        for _ in range(self.NSTEPS):
+            par.step(self.DT)
+        return par.gather_state(), par
+
+    @pytest.fixture(scope="class")
+    def parallel_off(self, setup_2d):
+        return self._run_parallel(setup_2d, "off")
+
+    def test_matches_serial(self, setup_2d, parallel_off):
+        # same tolerance contract as the explicit-path equivalence test:
+        # the rank-local RK loops do not replay serial arithmetic
+        # bit-for-bit, but agree to near machine precision
+        mech, grid, state, tr = setup_2d
+        cfg = SolverConfig(boundaries=periodic_boundaries(2), dt=self.DT,
+                           filter_interval=1, filter_alpha=0.2,
+                           scheme="ck45", chemistry_mode="strang")
+        serial = S3DSolver(state.copy(), cfg, transport=tr, reacting=True)
+        for _ in range(self.NSTEPS):
+            serial.step()
+        ref = serial.state.u
+        u_par, _ = parallel_off
+        scale = np.maximum(
+            np.abs(ref).reshape(ref.shape[0], -1).max(axis=1), 1e-300)
+        rel = (np.abs(u_par - ref).reshape(ref.shape[0], -1).max(axis=1)
+               / scale)
+        assert rel.max() < 1e-10
+
+    @pytest.mark.parametrize("policy", ["greedy", "pairwise-diffusion"])
+    def test_load_balancing_is_bitwise_invisible(self, setup_2d,
+                                                 parallel_off, policy):
+        # shipping implicit solves to other ranks must not change a
+        # single bit of the answer — only where the work runs
+        u_off, _ = parallel_off
+        u_lb, par = self._run_parallel(setup_2d, policy)
+        np.testing.assert_array_equal(u_lb, u_off)
+        # and work actually moved: the hot spot makes rank loads uneven
+        assert par.chemlb.last_plan is not None
+        assert par.chemlb._work is not None

@@ -1,0 +1,248 @@
+"""Analytical source-term Jacobian: FD exactness and sparsity pins.
+
+The battery the implicit integrators stand on: for every mechanism and
+both thermodynamic closures, the analytical Jacobian of
+:class:`repro.chemistry.jacobian.SourceTermJacobian` must match a
+central finite difference of the source term to relative 1e-6 on random
+states spanning both NASA-7 polynomial branches, and every numerically
+nonzero entry must lie inside the declared CSR pattern (no silent dense
+fill-in). A synthetic four-parameter Troe falloff reaction covers the
+broadening-factor derivatives the built-in mechanisms (constant-Fcent
+falloff) don't exercise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import Mechanism, SourceTermJacobian
+from repro.chemistry.kinetics import Arrhenius, Falloff, Reaction, ThirdBody
+from repro.chemistry.mechanisms.builders import make_species
+from repro.util.constants import P_ATM
+
+pytestmark = pytest.mark.jacobian
+
+#: max |J_analytical - J_fd| / max(|J_analytical|) per cell
+FD_RTOL = 1e-6
+
+#: relative central-difference step — large enough that the O(h^2)
+#: truncation error and the O(eps/h) roundoff error are both well below
+#: FD_RTOL for these well-scaled states (smaller steps go roundoff-bound)
+FD_REL_STEP = 1e-5
+
+
+def random_states(mech, rng, n_cells, t_lo=320.0, t_hi=2800.0):
+    """Strictly positive compositions, temperatures on both NASA branches.
+
+    Half the cells land below every species' ``t_mid`` breakpoint and
+    half above; none within 2 K of a breakpoint, where the two
+    polynomial branches would straddle the FD stencil.
+    """
+    ns = mech.n_species
+    mids = sorted({f.t_mid for f in (sp.thermo for sp in mech.species)})
+    lo_cap = min(mids) - 2.0
+    hi_floor = max(mids) + 2.0
+    n_lo = n_cells // 2
+    T = np.empty(n_cells)
+    T[:n_lo] = rng.uniform(t_lo, lo_cap, n_lo)
+    T[n_lo:] = rng.uniform(hi_floor, t_hi, n_cells - n_lo)
+    Y = rng.uniform(0.05, 1.0, (ns, n_cells))
+    Y /= Y.sum(axis=0)
+    return T, Y
+
+
+def fd_jacobian(stj, T, Y, rel=FD_REL_STEP, **kw):
+    """Central-difference d(f)/d(Y, T), shape (N, n, n).
+
+    Steps are made exactly representable (h = (z + h) - z) so the
+    difference quotient divides by the perturbation actually applied.
+    """
+    ns, n = stj.ns, stj.n
+    N = T.shape[0]
+    z0 = np.concatenate([Y, T[None]], axis=0)
+    floors = np.concatenate([np.full(ns, 1e-3), [1.0]])
+    jac = np.empty((N, n, n))
+    for j in range(n):
+        h = rel * np.maximum(np.abs(z0[j]), floors[j])
+        zp = z0.copy()
+        zp[j] = z0[j] + h
+        zm = z0.copy()
+        zm[j] = z0[j] - h
+        dz = zp[j] - zm[j]  # exactly representable spacing
+        fp = stj.source(zp[ns], zp[:ns], **kw)
+        fm = stj.source(zm[ns], zm[:ns], **kw)
+        jac[:, :, j] = ((fp - fm) / dz[None]).T
+    return jac
+
+
+def max_rel_error(j_an, j_fd):
+    """Per-cell matrix-relative FD mismatch, maxed over the batch."""
+    scale = np.abs(j_an).reshape(j_an.shape[0], -1).max(axis=1)
+    diff = np.abs(j_an - j_fd).reshape(j_an.shape[0], -1).max(axis=1)
+    return float((diff / np.maximum(scale, 1.0)).max())
+
+
+def closure_kwargs(mode, mech, T, Y, rng):
+    if mode == "constant-pressure":
+        return {"p": np.full(T.shape, P_ATM)}
+    return {"rho": np.asarray(mech.density(P_ATM, T, Y))}
+
+
+@pytest.fixture(params=["constant-pressure", "constant-volume"])
+def mode(request):
+    return request.param
+
+
+class TestFiniteDifferenceExactness:
+    def test_h2(self, h2_mech, rng, mode):
+        stj = SourceTermJacobian(h2_mech, mode=mode)
+        T, Y = random_states(h2_mech, rng, 24)
+        kw = closure_kwargs(mode, h2_mech, T, Y, rng)
+        j_an = stj.jacobian(T, Y, **kw)
+        j_fd = fd_jacobian(stj, T, Y, **kw)
+        assert max_rel_error(j_an, j_fd) < FD_RTOL
+
+    def test_ch4_twostep(self, ch4_mech, rng, mode):
+        stj = SourceTermJacobian(ch4_mech, mode=mode)
+        T, Y = random_states(ch4_mech, rng, 24)
+        kw = closure_kwargs(mode, ch4_mech, T, Y, rng)
+        j_an = stj.jacobian(T, Y, **kw)
+        j_fd = fd_jacobian(stj, T, Y, **kw)
+        assert max_rel_error(j_an, j_fd) < FD_RTOL
+
+    def test_fused_source_matches_plain_source(self, h2_mech, rng, mode):
+        # the fused path accumulates wdot per reaction (alongside its
+        # derivatives) rather than through KineticsEvaluator, so the two
+        # agree to rounding, not bit-for-bit
+        stj = SourceTermJacobian(h2_mech, mode=mode)
+        T, Y = random_states(h2_mech, rng, 12)
+        kw = closure_kwargs(mode, h2_mech, T, Y, rng)
+        f_fused, _ = stj.source_and_jacobian(T, Y, **kw)
+        f_plain = stj.source(T, Y, **kw)
+        scale = np.maximum(np.abs(f_plain).max(axis=1, keepdims=True), 1.0)
+        assert np.abs(f_fused - f_plain).max() <= (1e-12 * scale).max()
+        assert (np.abs(f_fused - f_plain) <= 1e-12 * scale).all()
+
+
+class TestTroeFalloff:
+    """Four-parameter Troe broadening, absent from the built-ins."""
+
+    @pytest.fixture(scope="class")
+    def troe_mech(self):
+        names = ["H", "O2", "HO2", "H2O", "N2"]
+        species = [make_species(n) for n in names]
+        rxns = [
+            Reaction(
+                (("H", 1), ("O2", 1)),
+                (("HO2", 1),),
+                Arrhenius(A=1.475e6, n=0.60, Ea=0.0),
+                third_body=ThirdBody((("H2O", 11.0), ("O2", 0.78))),
+                falloff=Falloff(
+                    low=Arrhenius(A=6.366e8, n=-1.72, Ea=2195.8),
+                    troe=(0.5, 100.0, 2000.0, 5000.0),
+                ),
+            ),
+            # a plain channel so HO2 consumption couples rows
+            Reaction(
+                (("HO2", 1), ("H", 1)),
+                (("O2", 1), ("H2O", 1)),
+                Arrhenius(A=1.0e7, n=0.0, Ea=3000.0),
+            ),
+        ]
+        return Mechanism(species, rxns, name="troe-synthetic")
+
+    def test_fd_exact(self, troe_mech, rng, mode):
+        stj = SourceTermJacobian(troe_mech, mode=mode)
+        T, Y = random_states(troe_mech, rng, 24)
+        kw = closure_kwargs(mode, troe_mech, T, Y, rng)
+        j_an = stj.jacobian(T, Y, **kw)
+        j_fd = fd_jacobian(stj, T, Y, **kw)
+        assert max_rel_error(j_an, j_fd) < FD_RTOL
+
+    def test_fd_exact_across_pressure_range(self, troe_mech, rng):
+        # sweep the falloff transition: Pr spans low to high pressure
+        stj = SourceTermJacobian(troe_mech, mode="constant-pressure")
+        T, Y = random_states(troe_mech, rng, 16)
+        p = np.exp(rng.uniform(np.log(1e3), np.log(1e7), T.shape))
+        j_an = stj.jacobian(T, Y, p=p)
+        j_fd = fd_jacobian(stj, T, Y, p=p)
+        assert max_rel_error(j_an, j_fd) < FD_RTOL
+
+
+class TestSparsityPattern:
+    """The declared CSR pattern covers every numerical nonzero."""
+
+    def test_no_fill_in_h2(self, h2_mech, rng, mode):
+        stj = SourceTermJacobian(h2_mech, mode=mode)
+        T, Y = random_states(h2_mech, rng, 32)
+        kw = closure_kwargs(mode, h2_mech, T, Y, rng)
+        jac = stj.jacobian(T, Y, **kw)
+        assert stj.pattern.fill_in(jac) == 0.0
+
+    def test_no_fill_in_ch4(self, ch4_mech, rng, mode):
+        stj = SourceTermJacobian(ch4_mech, mode=mode)
+        T, Y = random_states(ch4_mech, rng, 32)
+        kw = closure_kwargs(mode, ch4_mech, T, Y, rng)
+        jac = stj.jacobian(T, Y, **kw)
+        assert stj.pattern.fill_in(jac) == 0.0
+
+    def test_inert_species_row_exactly_zero(self, h2_mech, rng, mode):
+        # N2 participates in no H2/O2 reaction: its rate row must be
+        # structurally (and numerically, exactly) zero in both closures
+        stj = SourceTermJacobian(h2_mech, mode=mode)
+        i_n2 = h2_mech.index("N2")
+        assert not stj.pattern.mask[i_n2].any()
+        T, Y = random_states(h2_mech, rng, 8)
+        kw = closure_kwargs(mode, h2_mech, T, Y, rng)
+        jac = stj.jacobian(T, Y, **kw)
+        np.testing.assert_array_equal(jac[:, i_n2, :], 0.0)
+
+    def test_constant_volume_keeps_graph_sparsity(self, ch4_mech):
+        # const-v species block inherits reaction-graph sparsity; the
+        # const-p closure densifies reactive rows through rho(Y, T).
+        # (CH4 two-step has no third bodies, so the gap is strict — in
+        # H2/air the default third-body efficiencies already couple
+        # every reactive row to every concentration.)
+        cv = SourceTermJacobian(ch4_mech, mode="constant-volume")
+        cp = SourceTermJacobian(ch4_mech, mode="constant-pressure")
+        assert cv.pattern.nnz < cp.pattern.nnz
+        # and the CSR arrays are consistent with the mask
+        for pat in (cv.pattern, cv.concentration_pattern):
+            assert pat.nnz == int(pat.mask.sum())
+            assert pat.indptr[-1] == pat.nnz
+
+    def test_csr_values_roundtrip(self, h2_mech, rng):
+        stj = SourceTermJacobian(h2_mech, mode="constant-volume")
+        T, Y = random_states(h2_mech, rng, 4)
+        jac = stj.jacobian(T, Y, rho=h2_mech.density(P_ATM, T, Y))
+        vals = stj.pattern.csr_values(jac)
+        assert vals.shape == (4, stj.pattern.nnz)
+        dense = np.zeros_like(jac)
+        dense[:, stj.pattern.rows, stj.pattern.indices] = vals
+        np.testing.assert_array_equal(dense, jac)
+
+
+class TestBatchShapeIndependence:
+    def test_single_cell_extraction_bitwise(self, h2_mech, rng, mode):
+        stj = SourceTermJacobian(h2_mech, mode=mode)
+        T, Y = random_states(h2_mech, rng, 16)
+        kw = closure_kwargs(mode, h2_mech, T, Y, rng)
+        f_all, j_all = stj.source_and_jacobian(T, Y, **kw)
+        for c in (0, 7, 15):
+            sub = {k: v[c : c + 1] for k, v in kw.items()}
+            f1, j1 = stj.source_and_jacobian(T[c : c + 1], Y[:, c : c + 1], **sub)
+            np.testing.assert_array_equal(f1[:, 0], f_all[:, c])
+            np.testing.assert_array_equal(j1[0], j_all[c])
+
+    def test_gershgorin_positive_on_reacting_states(self, h2_mech, rng):
+        stj = SourceTermJacobian(h2_mech, mode="constant-volume")
+        T = np.full(6, 1500.0)
+        Y = np.tile(
+            h2_mech.mass_fractions_from(
+                {"H2": 0.02, "O2": 0.22, "H": 1e-5, "N2": 0.75999}
+            )[:, None],
+            (1, 6),
+        )
+        Y /= Y.sum(axis=0)
+        lam = stj.stiffness_estimate(T, Y, rho=h2_mech.density(P_ATM, T, Y))
+        assert lam.shape == (6,)
+        assert (lam > 0).all()

@@ -97,6 +97,31 @@ class TestIgnitionDelay:
         tau_rich = ignition_delay(h2_mech, t_rich, P_ATM, y_rich, t_end=0.05, n_out=2000)
         assert tau_lean < tau_rich
 
+    def test_delay_not_quantized_by_output_grid(self, h2_mech, h2_air_stoich):
+        """Regression: the delay comes from a solve_ivp terminal event,
+        not interpolation on an ``n_out`` output grid.  The old
+        implementation sampled T(t) at ``n_out`` equispaced points and
+        interpolated the crossing, biasing the delay by up to half a
+        sample interval — so wildly different ``n_out`` values gave
+        measurably different answers.  Now ``n_out`` must be inert."""
+        taus = [
+            ignition_delay(h2_mech, 1100.0, P_ATM, h2_air_stoich,
+                           t_end=0.01, n_out=n)
+            for n in (None, 7, 100000)
+        ]
+        assert taus[0] == taus[1] == taus[2]
+        # and the event-located delay agrees with an independent tight
+        # trajectory to far better than the old grid's half-interval
+        # bias (t_end/2/500 = 1e-5 s at the historical default)
+        reactor = ConstPressureReactor(h2_mech, P_ATM)
+        t, T, _ = reactor.integrate(1100.0, h2_air_stoich, 2e-4,
+                                    n_out=20001, rtol=1e-10, atol=1e-13)
+        target = 1100.0 + 400.0
+        k = int(np.argmax(T >= target))
+        frac = (target - T[k - 1]) / (T[k] - T[k - 1])
+        tau_grid = t[k - 1] + frac * (t[k] - t[k - 1])
+        assert abs(taus[0] - tau_grid) < 1e-7
+
     def test_ho2_precedes_oh(self, h2_mech, h2_air_stoich):
         """HO2 is the autoignition precursor: it peaks before OH rises
         (the §6 flame-base marker result)."""
