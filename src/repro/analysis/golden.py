@@ -118,7 +118,7 @@ LIFTED_JET_PARALLEL_STEPS = 3
 LIFTED_JET_PARALLEL_DT = 2.0e-8
 
 
-def lifted_jet_parallel_solver(comm_transport: str = "inprocess"):
+def lifted_jet_parallel_solver(comm_transport: str = "inprocess", **kwargs):
     """Periodic lifted-jet-flavoured configuration on the rank-parallel
     solver — the cross-transport golden scenario.
 
@@ -131,7 +131,9 @@ def lifted_jet_parallel_solver(comm_transport: str = "inprocess"):
     reaction work in one quadrant, so ``chem_load_balance="greedy"``
     genuinely ships cells. ``comm_transport`` picks the communication
     backend; the solver owns the created world (close it via
-    ``solver.close()``).
+    ``solver.close()``). Extra keywords (``tracing``,
+    ``rank_telemetry``, ...) pass through to the solver so tests can
+    re-run the pinned scenario with observability features armed.
     """
     from repro.core.state import State
     from repro.parallel.decomp import CartesianDecomposition
@@ -167,7 +169,7 @@ def lifted_jet_parallel_solver(comm_transport: str = "inprocess"):
     solver = ParallelPeriodicSolver(
         mech, grid, decomp, transport=transport, reacting=True,
         scheme="ck45", filter_alpha=0.25, chem_load_balance="greedy",
-        comm_transport=comm_transport,
+        comm_transport=comm_transport, **kwargs,
     )
     solver.set_state(state.u)
     return solver

@@ -94,6 +94,28 @@ def resolve_chemistry_method(method: str | None = None) -> str:
     return method
 
 
+def resolve_fixed_substeps(n: int | None = None) -> int | None:
+    """Explicit argument wins; otherwise ``REPRO_CHEM_FIXED_SUBSTEPS``;
+    default ``None`` (the adaptive controller). Must be a positive
+    integer when given — the convergence-study knob, now reachable
+    without touching integrator internals."""
+    if n is None:
+        raw = os.environ.get("REPRO_CHEM_FIXED_SUBSTEPS", "").strip()
+        if not raw:
+            return None
+        try:
+            n = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_CHEM_FIXED_SUBSTEPS must be a positive integer, "
+                f"got {raw!r}"
+            ) from exc
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"fixed_substeps must be >= 1, got {n}")
+    return n
+
+
 # ----------------------------------------------------------------------
 # batched dense LU with partial pivoting
 # ----------------------------------------------------------------------
@@ -249,6 +271,12 @@ class ImplicitChemistry:
     max_newton, newton_tol:
         Modified-Newton iteration cap and displacement tolerance (in
         error-weight units) for ``bdf2``.
+    fixed_substeps:
+        When given, :meth:`advance` calls without an explicit
+        ``fixed_steps`` take this many equal substeps instead of the
+        adaptive controller (the convergence-study knob); ``None``
+        defers to the ``REPRO_CHEM_FIXED_SUBSTEPS`` environment switch
+        (:func:`resolve_fixed_substeps`).
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`; defaults to the
         process backend.
@@ -267,6 +295,7 @@ class ImplicitChemistry:
         newton_tol: float = 0.1,
         max_substeps: int = 100_000,
         safety: float = 0.9,
+        fixed_substeps: int | None = None,
         telemetry=None,
     ):
         if method not in METHODS:
@@ -289,7 +318,7 @@ class ImplicitChemistry:
         #: controller — the order-of-accuracy studies set it so the
         #: integration error scales smoothly with the step size rather
         #: than through the controller's discrete accept/reject decisions
-        self.fixed_substeps: int | None = None
+        self.fixed_substeps: int | None = resolve_fixed_substeps(fixed_substeps)
         ns = self.stj.ns
         self._atol = np.empty(ns + 1)
         self._atol[:ns] = self.atol_y

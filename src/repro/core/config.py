@@ -106,6 +106,17 @@ class SolverConfig:
         :class:`~repro.telemetry.Telemetry`; ``False`` — force the no-op
         backend; ``None`` (default) — use the process default (the
         ``REPRO_TELEMETRY`` environment switch).
+    tracing:
+        Distributed-tracing mode on top of the telemetry backend:
+        ``True`` attaches a :class:`~repro.telemetry.TraceLog` (causal
+        trace events for every span and transport message, stitched
+        into a Perfetto timeline by
+        :mod:`repro.observability.timeline`), upgrading a null
+        telemetry backend to a recording one if needed; ``False``
+        forces it off; ``None`` (default) defers to the
+        ``REPRO_TRACING`` environment switch. Off stays on the null
+        backend's zero-cost path, and enabling it leaves solutions
+        bitwise identical.
     observability:
         Health-observatory mode: ``"off"`` (null monitor, zero cost),
         ``"on"`` (standard watchdogs + flight recorder), or ``"full"``
@@ -136,6 +147,16 @@ class SolverConfig:
         (variable-step BDF2 with modified Newton); ``None`` defers to
         the ``REPRO_CHEMISTRY_METHOD`` environment switch. Only
         meaningful with ``chemistry_mode="strang"``.
+    fixed_substeps:
+        Fixed implicit-substep count for the Strang chemistry
+        half-steps (the convergence-study knob: equal substeps instead
+        of the adaptive controller — see
+        :attr:`repro.chemistry.implicit.ImplicitChemistry.fixed_substeps`);
+        must be a positive integer. ``None`` (default) defers to the
+        ``REPRO_CHEM_FIXED_SUBSTEPS`` environment switch, falling back
+        to the adaptive controller. Requires
+        ``chemistry_mode="strang"``; both solvers raise when it is set
+        on an explicit-chemistry run.
     chem_load_balance:
         Chemistry dynamic-load-balancing policy: ``"off"`` (strict
         owner-computes, the default), ``"greedy"``, or
@@ -179,9 +200,11 @@ class SolverConfig:
     rhs_engine: str | None = None
     rhs_backend: str | None = None
     telemetry: bool | None = None
+    tracing: bool | None = None
     observability: object = None
     chemistry_mode: str | None = None
     chemistry_method: str | None = None
+    fixed_substeps: int | None = None
     chem_load_balance: str | None = None
     transport: str | None = None
     parallel_recovery: str | None = None
@@ -233,6 +256,10 @@ class SolverConfig:
                     f"unknown chemistry_method {self.chemistry_method!r}; "
                     f"choose from {METHODS}"
                 )
+        if self.fixed_substeps is not None:
+            from repro.chemistry.implicit import resolve_fixed_substeps
+
+            resolve_fixed_substeps(self.fixed_substeps)  # raises on < 1
         if self.chem_load_balance is not None:
             from repro.parallel.chemlb import POLICIES
 

@@ -69,7 +69,13 @@ class S3DSolver:
             self._chem = ImplicitChemistry(
                 state.mech, closure="constant-volume",
                 method=resolve_chemistry_method(config.chemistry_method),
+                fixed_substeps=config.fixed_substeps,
                 telemetry=self.telemetry,
+            )
+        elif config.fixed_substeps is not None:
+            raise ValueError(
+                "fixed_substeps requires chemistry_mode='strang' "
+                "(there is no implicit integrator to apply it to)"
             )
         self.rhs = CompressibleRHS(
             state, transport=transport, boundaries=config.boundaries,
@@ -96,10 +102,20 @@ class S3DSolver:
         if telemetry is not None:
             return telemetry
         if config.telemetry is True:
-            return _telemetry.Telemetry()
-        if config.telemetry is False:
+            tel = _telemetry.Telemetry()
+        elif config.telemetry is False:
             return _telemetry.NULL_TELEMETRY
-        return _telemetry.get_telemetry()
+        else:
+            tel = _telemetry.get_telemetry()
+        # tracing rides on the telemetry mode: upgrade a recording
+        # backend in place, or stand one up when only tracing was asked
+        # for (config or REPRO_TRACING)
+        if _telemetry.resolve_tracing(config.tracing):
+            if getattr(tel, "enabled", False):
+                tel.enable_tracing()
+            else:
+                tel = _telemetry.Telemetry(tracing=True)
+        return tel
 
     def _resolve_health(self, config):
         from repro.observability import for_solver

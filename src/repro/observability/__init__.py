@@ -25,6 +25,14 @@ dies:
   dashboard with sparkline histories plus a static self-contained
   ``observatory.html`` report, both replayable offline from a flight
   recorder dump.
+* :mod:`~repro.observability.timeline` — stitched distributed-tracing
+  timelines: per-rank trace logs merged into one causally-ordered
+  stream, exported as Chrome-trace/Perfetto JSON with cross-rank flow
+  arrows, with critical-path and wall-time-breakdown analysis on top.
+* :mod:`~repro.observability.endpoint` — the live metrics surface: a
+  localhost HTTP endpoint serving the metrics registry in Prometheus
+  text format plus the full telemetry snapshot, feeding the workflow
+  dashboard.
 
 Mode selection mirrors ``REPRO_TELEMETRY``: the environment variable
 ``REPRO_OBSERVABILITY`` (or ``SolverConfig.observability``) picks
@@ -67,6 +75,20 @@ from repro.observability.render import (
     sparkline,
     write_html_report,
 )
+from repro.observability.timeline import (
+    breakdown,
+    critical_path,
+    critical_path_report,
+    export_chrome_trace,
+    reconcile_chemistry,
+    stitch,
+    validate_chrome_trace,
+)
+from repro.observability.endpoint import (
+    MetricsEndpoint,
+    parse_prometheus_text,
+    prometheus_text,
+)
 
 __all__ = [
     "Watchdog",
@@ -96,6 +118,16 @@ __all__ = [
     "html_report",
     "write_html_report",
     "replay_report",
+    "stitch",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "breakdown",
+    "critical_path",
+    "critical_path_report",
+    "reconcile_chemistry",
+    "MetricsEndpoint",
+    "prometheus_text",
+    "parse_prometheus_text",
     "MODES",
     "resolve_mode",
     "standard_watchdogs",

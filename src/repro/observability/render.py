@@ -74,6 +74,26 @@ def _row_status(row: dict) -> str:
         "watchdogs") else "ok"
 
 
+def _oversubscription(rows, telemetry=None) -> int:
+    """Latest ``transport.oversubscribed`` gauge value (ranks beyond
+    physical CPUs — set by the multiprocessing transport at spawn).
+
+    Prefers a live telemetry backend when one is given; falls back to
+    the newest recorded step row carrying a telemetry delta, so replays
+    of a flight-recorder dump surface the warning too. Returns 0 when
+    the gauge was never set.
+    """
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        gauge = telemetry.metrics.gauges.get("transport.oversubscribed")
+        if gauge is not None and gauge.updates:
+            return int(gauge.value)
+    for r in reversed(list(rows)):
+        gauges = (r.get("telemetry") or {}).get("metrics", {}).get("gauges", {})
+        if "transport.oversubscribed" in gauges:
+            return int(gauges["transport.oversubscribed"])
+    return 0
+
+
 def _fmt_range(values) -> str:
     finite = [v for v in values if math.isfinite(v)]
     if not finite:
@@ -83,7 +103,8 @@ def _fmt_range(values) -> str:
 
 def render_dashboard(rows, recoveries=(), title: str =
                      "simulation health observatory", table_rows: int = 8,
-                     spark_width: int = 32, variables=None) -> str:
+                     spark_width: int = 32, variables=None,
+                     telemetry=None) -> str:
     """ASCII dashboard from flight-recorder step rows (dicts)."""
     lines = []
     if not rows:
@@ -98,6 +119,12 @@ def render_dashboard(rows, recoveries=(), title: str =
         lines.append(
             "watchdogs: "
             + "  ".join(f"{k}={v}" for k, v in sorted(dogs.items()))
+        )
+    oversub = _oversubscription(rows, telemetry)
+    if oversub:
+        lines.append(
+            f"!! transport oversubscribed: {oversub} rank(s) beyond "
+            f"physical CPUs -- wall-time signals suspect"
         )
     # sparkline histories: dt, wall, then the requested (or leading)
     # conserved-variable maxima
@@ -139,7 +166,8 @@ class RunMonitor:
     """Interval-driven live renderer over a flight recorder."""
 
     def __init__(self, recorder, interval: int = 10, stream=None,
-                 table_rows: int = 8, spark_width: int = 32, variables=None):
+                 table_rows: int = 8, spark_width: int = 32, variables=None,
+                 telemetry=None):
         if interval < 1:
             raise ValueError("render interval must be >= 1")
         self.recorder = recorder
@@ -148,6 +176,11 @@ class RunMonitor:
         self.table_rows = int(table_rows)
         self.spark_width = int(spark_width)
         self.variables = variables
+        #: optional live telemetry backend — lets the dashboard surface
+        #: transport-level gauges (oversubscription) without waiting for
+        #: a step row to carry a telemetry delta
+        self.telemetry = telemetry if telemetry is not None else getattr(
+            recorder, "telemetry", None)
         self.renders = 0
         self.last_text = ""
 
@@ -158,7 +191,7 @@ class RunMonitor:
         text = render_dashboard(
             self._rows(), recoveries=self.recorder.recoveries,
             table_rows=self.table_rows, spark_width=self.spark_width,
-            variables=self.variables,
+            variables=self.variables, telemetry=self.telemetry,
         )
         self.renders += 1
         self.last_text = text
@@ -214,7 +247,7 @@ def _svg_spark(values, width: int = 360, height: int = 48) -> str:
 
 def html_report(rows, recoveries=(), summary=None, fused=None,
                 title: str = "simulation health observatory",
-                variables=None) -> str:
+                variables=None, telemetry=None) -> str:
     """Self-contained HTML observatory from flight-recorder rows."""
     esc = _html.escape
     parts = [
@@ -223,6 +256,12 @@ def html_report(rows, recoveries=(), summary=None, fused=None,
         f"<style>{_CSS}</style></head><body>",
         f"<h1>{esc(title)}</h1>",
     ]
+    oversub = _oversubscription(rows, telemetry)
+    if oversub:
+        parts.append(
+            f"<p class='warn'>transport oversubscribed: {oversub} rank(s) "
+            f"beyond physical CPUs &mdash; wall-time signals suspect</p>"
+        )
     if not rows:
         parts.append("<p class='meta'>no steps recorded</p>")
     else:
@@ -294,7 +333,8 @@ def html_report(rows, recoveries=(), summary=None, fused=None,
 
 def write_html_report(fs, path, recorder=None, rows=None, recoveries=None,
                       summary=None, fused=None,
-                      title: str = "simulation health observatory") -> str:
+                      title: str = "simulation health observatory",
+                      telemetry=None) -> str:
     """Render and write ``observatory.html`` through the file system."""
     if rows is None:
         if recorder is None:
@@ -302,8 +342,10 @@ def write_html_report(fs, path, recorder=None, rows=None, recoveries=None,
         rows = [r.as_dict() for r in recorder.records]
         recoveries = recorder.recoveries if recoveries is None else recoveries
         summary = recorder.summary("report") if summary is None else summary
+    if telemetry is None and recorder is not None:
+        telemetry = getattr(recorder, "telemetry", None)
     text = html_report(rows, recoveries=recoveries or (), summary=summary,
-                       fused=fused, title=title)
+                       fused=fused, title=title, telemetry=telemetry)
     fs.write_bytes(path, text.encode())
     return path
 

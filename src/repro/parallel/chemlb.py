@@ -407,6 +407,9 @@ class ChemistryLoadBalancer:
     # -- evaluation ------------------------------------------------------
     def _evaluate(self, rank: int, rho, T, Y):
         """Evaluate one cell batch, attributing wall time to ``rank``."""
+        tracelog = getattr(self.telemetry, "tracelog", None)
+        sid = (tracelog.begin_span("CHEMISTRY_CELLS", rank)
+               if tracelog is not None else None)
         t0 = time.perf_counter()
         wdot = self.mech.production_rates_cells(rho, T, Y)
         if self.work_model is not None and T.size:
@@ -422,6 +425,8 @@ class ChemistryLoadBalancer:
                         rho[subset], T[subset], Y[:, subset]
                     )
         self.rank_seconds[rank] += time.perf_counter() - t0
+        if sid is not None:
+            tracelog.end_span(sid, cells=int(T.size))
         return wdot
 
     # -- shipping --------------------------------------------------------
@@ -591,9 +596,14 @@ class ChemistryLoadBalancer:
         if rho.size == 0:
             ns = self.mech.n_species
             return np.empty(0), np.empty((ns, 0)), np.empty(0)
+        tracelog = getattr(self.telemetry, "tracelog", None)
+        sid = (tracelog.begin_span("CHEMISTRY_CELLS", rank)
+               if tracelog is not None else None)
         t0 = time.perf_counter()
         T1, Y1, stats = integrator.advance_energy(rho, e, Y, dt)
         self.rank_seconds[rank] += time.perf_counter() - t0
+        if sid is not None:
+            tracelog.end_span(sid, cells=int(rho.size))
         return T1, Y1, stats.substeps.astype(float)
 
     def _serve_states(self, seq: int, sh: Shipment, dt: float, integrator) -> None:

@@ -374,10 +374,20 @@ class InProcessTransport(Transport):
         self.log = MessageLog()
         self._collect_buf: dict = {}
         self._failed_ranks: set = set()
-        self._delayed: list = []  # (dest, source, tag, array)
+        self._delayed: list = []  # (dest, source, tag, array, ctx)
+        #: trace contexts riding beside the mailboxes, FIFO-aligned
+        #: per (dest, source, tag) channel; only populated when the
+        #: telemetry backend has a trace log attached, so the payload
+        #: arrays themselves never change shape or content
+        self._trace_ctx: dict = defaultdict(deque)
         self.dropped = 0
         self._programs: list | None = None
         self._build = None  # per-rank program builder, kept for revival
+
+    def _tracelog(self):
+        """The attached trace log, or None (looked up per call so
+        ``enable_tracing()`` after construction takes effect)."""
+        return getattr(self.telemetry, "tracelog", None)
 
     # -- rank failure ------------------------------------------------------
     def fail_rank(self, rank: int) -> None:
@@ -408,6 +418,7 @@ class InProcessTransport(Transport):
         self._mailboxes.clear()
         self._collect_buf.clear()
         self._delayed.clear()
+        self._trace_ctx.clear()
 
     def _check_alive(self, rank: int, role: str) -> None:
         if rank in self._failed_ranks:
@@ -419,6 +430,7 @@ class InProcessTransport(Transport):
             raise ValueError(f"destination rank {dest} out of range")
         self._check_alive(source, "source")
         self._check_alive(dest, "destination")
+        tracelog = self._tracelog()
         if self.faults.enabled:
             spec = self.faults.decide("mpi.send")
             if spec is not None:
@@ -437,9 +449,17 @@ class InProcessTransport(Transport):
                     array = np.frombuffer(raw, dtype=array.dtype).reshape(
                         array.shape).copy()
                 elif spec.mode == "delay":
-                    self._delayed.append((dest, source, tag, array))
+                    ctx = None
+                    if tracelog is not None:
+                        ctx = tracelog.record_send(source, dest, tag,
+                                                   array.nbytes)
+                    self._delayed.append((dest, source, tag, array, ctx))
                     self.log.record(source, dest, tag, array.nbytes)
                     return
+        if tracelog is not None:
+            self._trace_ctx[(dest, source, tag)].append(
+                tracelog.record_send(source, dest, tag, array.nbytes)
+            )
         self._mailboxes[(dest, source, tag)].append(array)
         self.log.record(source, dest, tag, array.nbytes)
 
@@ -447,8 +467,10 @@ class InProcessTransport(Transport):
         """Deliver every delayed message (the late-packet flush);
         returns how many arrived."""
         n = len(self._delayed)
-        for dest, source, tag, array in self._delayed:
+        for dest, source, tag, array, ctx in self._delayed:
             self._mailboxes[(dest, source, tag)].append(array)
+            if ctx is not None:
+                self._trace_ctx[(dest, source, tag)].append(ctx)
         self._delayed.clear()
         return n
 
@@ -474,7 +496,13 @@ class InProcessTransport(Transport):
                 f"rank {rank}: no pending message from rank {source} with "
                 f"tag {tag} (pending for rank {rank}: {state})"
             )
-        return box.popleft()
+        array = box.popleft()
+        tracelog = self._tracelog()
+        if tracelog is not None:
+            ctxq = self._trace_ctx.get((rank, source, tag))
+            ctx = ctxq.popleft() if ctxq else None
+            tracelog.record_recv(rank, source, tag, array.nbytes, ctx=ctx)
+        return array
 
     def _probe(self, rank: int, source: int, tag: int) -> bool:
         return bool(self._mailboxes[(rank, source, tag)])
@@ -560,12 +588,24 @@ class InProcessTransport(Transport):
             self._check_alive(rank, "executing")
         self._decide_exec_fault()
         out = []
-        for rank in range(self.size):
-            try:
-                out.append(getattr(programs[rank], method)(*payloads[rank]))
-            except BaseException as exc:
-                _annotate_rank(exc, rank)
-                raise
+        tracelog = self._tracelog()
+        tracer = self.telemetry.tracer if tracelog is not None else None
+        home = tracer.trace_rank if tracer is not None else None
+        try:
+            for rank in range(self.size):
+                if tracer is not None:
+                    # retarget the shared tracer's event lane so spans
+                    # recorded inside the rank's program land on its own
+                    # timeline row instead of the driver's
+                    tracer.trace_rank = rank
+                try:
+                    out.append(getattr(programs[rank], method)(*payloads[rank]))
+                except BaseException as exc:
+                    _annotate_rank(exc, rank)
+                    raise
+        finally:
+            if tracer is not None:
+                tracer.trace_rank = home
         return out
 
     def call_one(self, rank: int, method: str, *args):
@@ -573,11 +613,19 @@ class InProcessTransport(Transport):
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range [0, {self.size})")
         self._check_alive(rank, "executing")
+        tracelog = self._tracelog()
+        tracer = self.telemetry.tracer if tracelog is not None else None
+        home = tracer.trace_rank if tracer is not None else None
         try:
+            if tracer is not None:
+                tracer.trace_rank = rank
             return getattr(programs[rank], method)(*args)
         except BaseException as exc:
             _annotate_rank(exc, rank)
             raise
+        finally:
+            if tracer is not None:
+                tracer.trace_rank = home
 
     @property
     def programs(self):

@@ -160,7 +160,14 @@ class MPI4PyTransport(Transport):
                     raw = self.faults.corrupt_bytes(array.tobytes())
                     array = np.frombuffer(raw, dtype=array.dtype).reshape(
                         array.shape).copy()
-        self._world.send(array, dest=dest, tag=tag)
+        tracelog = getattr(self.telemetry, "tracelog", None)
+        if tracelog is not None:
+            # piggyback the trace context as a pickled sidecar tuple —
+            # the payload array itself is forwarded untouched
+            ctx = tracelog.record_send(source, dest, tag, array.nbytes)
+            self._world.send((array, tuple(ctx)), dest=dest, tag=tag)
+        else:
+            self._world.send(array, dest=dest, tag=tag)
         self.log.record(source, dest, tag, array.nbytes)
 
     def _recv(self, rank: int, source: int, tag: int):
@@ -171,7 +178,20 @@ class MPI4PyTransport(Transport):
                 f"rank {rank}: no pending message from rank {source} with "
                 f"tag {tag}"
             )
-        return self._world.recv(source=source, tag=tag)
+        msg = self._world.recv(source=source, tag=tag)
+        ctx = None
+        if isinstance(msg, tuple) and len(msg) == 2:
+            array, raw = msg
+            if raw is not None:
+                from repro.telemetry.tracing import TraceContext
+
+                ctx = TraceContext(*raw)
+        else:
+            array = msg
+        tracelog = getattr(self.telemetry, "tracelog", None)
+        if tracelog is not None:
+            tracelog.record_recv(rank, source, tag, array.nbytes, ctx=ctx)
+        return array
 
     def _probe(self, rank: int, source: int, tag: int) -> bool:
         return bool(self._world.Iprobe(source=source, tag=tag))

@@ -26,6 +26,7 @@ from repro.chemistry.implicit import (
     ImplicitChemistry,
     resolve_chemistry_method,
     resolve_chemistry_mode,
+    resolve_fixed_substeps,
 )
 from repro.core.derivatives import DerivativeOperator, HALF_WIDTH
 from repro.core.filters import FilterOperator, FILTER_HALF_WIDTH
@@ -37,6 +38,7 @@ from repro.parallel import chemlb
 from repro.parallel.comm import create_transport
 from repro.parallel.halo import HaloExchanger
 from repro.telemetry import resolve as resolve_telemetry
+from repro.telemetry.tracing import resolve_tracing
 
 #: halo depth for nested-gradient (viscous-flux) bitwise equivalence
 DEEP_HALO = 2 * HALF_WIDTH + 1  # 9 >= filter's 5 as well
@@ -64,13 +66,16 @@ class SolverRankProgram:
     def __init__(self, rank, mechanism, ext_shape, spacings, interior,
                  transport=None, reacting=True, filter_alpha=0.2,
                  rhs_engine=None, rhs_backend=None, defer_reactions=False,
-                 rank_telemetry=False, telemetry=None):
+                 rank_telemetry=False, tracing=False, telemetry=None):
         self.rank = int(rank)
         if telemetry is None:
             if rank_telemetry:
                 from repro.telemetry import Telemetry
 
-                telemetry = Telemetry()
+                # a private per-rank backend; with tracing on its trace
+                # log records on this rank's own lane, and the driver
+                # stitches the shipped snapshots at run end
+                telemetry = Telemetry(tracing=bool(tracing), rank=rank)
             else:
                 telemetry = resolve_telemetry(None)
         self.telemetry = telemetry
@@ -282,7 +287,8 @@ class ParallelPeriodicSolver:
                  chem_load_balance=None, chemlb_threshold=1.1,
                  chemlb_cost_model=None, chemlb_work_model=None,
                  rank_telemetry=False, observability=None,
-                 comm_transport=None, parallel_recovery=None):
+                 comm_transport=None, parallel_recovery=None,
+                 tracing=None, fixed_substeps=None):
         if not all(grid.periodic):
             raise ValueError("ParallelPeriodicSolver requires an all-periodic grid")
         if grid.shape != decomp.global_shape:
@@ -291,6 +297,18 @@ class ParallelPeriodicSolver:
         self.grid = grid
         self.decomp = decomp
         self.telemetry = resolve_telemetry(telemetry)
+        self.tracing = resolve_tracing(tracing)
+        if self.tracing:
+            # tracing is a mode on the telemetry backend: upgrade the
+            # resolved backend in place, or replace a null one — the
+            # transport below shares this backend, so message-plane
+            # trace contexts start flowing immediately
+            if getattr(self.telemetry, "enabled", False):
+                self.telemetry.enable_tracing()
+            else:
+                from repro.telemetry import Telemetry
+
+                self.telemetry = Telemetry(tracing=True)
         self._owns_world = world is None
         if world is None:
             world = create_transport(comm_transport, size=decomp.size,
@@ -317,7 +335,17 @@ class ParallelPeriodicSolver:
             self._strang_chem = ImplicitChemistry(
                 mechanism, closure="constant-volume",
                 method=resolve_chemistry_method(chemistry_method),
+                fixed_substeps=fixed_substeps,
                 telemetry=self.telemetry,
+            )
+        elif fixed_substeps is not None:
+            # validate even though no integrator consumes it here; the
+            # env switch is deliberately ignored outside strang mode so
+            # a study-wide setting does not break explicit runs
+            resolve_fixed_substeps(fixed_substeps)
+            raise ValueError(
+                "fixed_substeps requires chemistry_mode='strang' "
+                "(there is no implicit integrator to apply it to)"
             )
         policy = chemlb.resolve_policy(chem_load_balance)
         self.chemlb = None
@@ -368,7 +396,7 @@ class ParallelPeriodicSolver:
             (self.mech, self.halo.extended_shape(rank), self.spacings,
              self.halo.interior_slices(rank), p["transport"], p["reacting"],
              p["filter_alpha"], p["rhs_engine"], p["rhs_backend"],
-             self._defer, self._rank_telemetry)
+             self._defer, self._rank_telemetry, self.tracing)
             for rank in range(self.decomp.size)
         ]
         if self._rank_telemetry:
@@ -413,6 +441,8 @@ class ParallelPeriodicSolver:
             telemetry=tel,
             comm_transport=config.transport,
             parallel_recovery=config.parallel_recovery,
+            tracing=config.tracing,
+            fixed_substeps=config.fixed_substeps,
         )
         opts.update(kwargs)
         return cls(mechanism, grid, decomp, world, transport=transport,
@@ -497,10 +527,17 @@ class ParallelPeriodicSolver:
                     states, half_dt, self._strang_chem
                 )
             else:
-                results = [
-                    self._strang_chem.advance_energy(rho, e, Y, half_dt)[:2]
-                    for rho, e, Y in states
-                ]
+                tracelog = getattr(self.telemetry, "tracelog", None)
+                results = []
+                for rank, (rho, e, Y) in enumerate(states):
+                    sid = (tracelog.begin_span("CHEMISTRY_CELLS", rank)
+                           if tracelog is not None else None)
+                    results.append(
+                        self._strang_chem.advance_energy(rho, e, Y,
+                                                         half_dt)[:2]
+                    )
+                    if sid is not None:
+                        tracelog.end_span(sid, cells=int(rho.size))
         for b, (_, Y1) in zip(self.locals, results):
             strang_apply_update(b, ndim, mech.n_species, Y1)
 
@@ -697,6 +734,56 @@ class ParallelPeriodicSolver:
         snapshots = collect_snapshot_dicts(self.world, snapshots, root=root,
                                            telemetry=self.telemetry)
         return fuse_profiles(snapshots, include_timers=include_timers)
+
+    # -- distributed tracing ---------------------------------------------
+    def trace_events(self) -> list:
+        """Stitched global trace-event stream (plain dicts).
+
+        Gathers the per-rank trace logs — worker-resident ones ship
+        home inside :meth:`SolverRankProgram.telemetry_snapshot`; the
+        driver's own log (spans, message sends/receives) joins them —
+        and stitches everything into one causally-ordered timeline via
+        :func:`repro.observability.timeline.stitch`. Requires
+        ``tracing=True`` (or ``REPRO_TRACING``); empty otherwise.
+        """
+        from repro.observability import timeline
+
+        logs = []
+        # worker logs first: the gather itself records more driver-side
+        # events, which the driver snapshot below should include
+        if self._rank_telemetry:
+            for snap in self.world.call_all("telemetry_snapshot"):
+                trace = snap.get("trace")
+                if trace and trace.get("events"):
+                    logs.append(trace)
+        tracelog = getattr(self.telemetry, "tracelog", None)
+        if tracelog is not None:
+            logs.append(tracelog.snapshot())
+        world_log = getattr(getattr(self.world, "telemetry", None),
+                            "tracelog", None)
+        if world_log is not None and world_log is not tracelog:
+            logs.append(world_log.snapshot())
+        return timeline.stitch(logs)
+
+    def export_timeline(self, path=None):
+        """Chrome-trace-event (Perfetto) JSON of :meth:`trace_events`.
+
+        Returns the trace dict; with ``path`` also writes it as JSON —
+        load the file at https://ui.perfetto.dev or chrome://tracing.
+        """
+        import json
+
+        from repro.observability import timeline
+
+        trace = timeline.export_chrome_trace(
+            self.trace_events(),
+            title=f"parallel run ({self.world.name}, "
+                  f"{self.decomp.size} ranks)",
+        )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(trace, fh)
+        return trace
 
     def close(self) -> None:
         """Release the transport when this solver created it."""

@@ -32,6 +32,12 @@ from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
 )
 from repro.telemetry.spans import SpanStats, Tracer
+from repro.telemetry.tracing import (
+    TraceContext,
+    TraceEvent,
+    TraceLog,
+    resolve_tracing,
+)
 from repro.telemetry import export
 from repro.telemetry.export import (
     MonitorWriter,
@@ -47,6 +53,10 @@ __all__ = [
     "NULL_TELEMETRY",
     "Tracer",
     "SpanStats",
+    "TraceContext",
+    "TraceEvent",
+    "TraceLog",
+    "resolve_tracing",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -71,14 +81,46 @@ class Telemetry:
     ----------
     clock:
         Injectable clock for the tracer (tests pass a fake).
+    tracing:
+        Distributed-tracing mode. ``True`` attaches a
+        :class:`~repro.telemetry.tracing.TraceLog` so spans and
+        transport messages record causal trace events; ``None``
+        (default) defers to the ``REPRO_TRACING`` environment switch;
+        ``False`` forces it off regardless of the environment.
+    rank:
+        Event lane for this backend's trace log (rank programs pass
+        their rank; the default is the driver lane).
     """
 
     enabled = True
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, tracing=None, rank=None):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=clock, metrics=self.metrics)
+        self.tracelog = None
         self._delta_base: dict | None = None
+        if resolve_tracing(tracing):
+            self.enable_tracing(rank=rank)
+
+    @property
+    def tracing(self) -> bool:
+        """Whether distributed tracing is attached."""
+        return self.tracelog is not None
+
+    def enable_tracing(self, rank=None):
+        """Attach a trace log (idempotent); returns it. Spans recorded
+        from now on also produce causal trace events, and transports
+        holding this backend start piggybacking trace contexts."""
+        if self.tracelog is None:
+            from repro.telemetry.tracing import DRIVER_RANK, TraceLog
+
+            self.tracelog = TraceLog(
+                clock=self.tracer.clock,
+                rank=DRIVER_RANK if rank is None else int(rank),
+            )
+            self.tracer.tracelog = self.tracelog
+            self.tracer.trace_rank = self.tracelog.rank
+        return self.tracelog
 
     # -- tracing ---------------------------------------------------------
     def span(self, name: str, **counters):
@@ -150,6 +192,8 @@ class Telemetry:
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
+        if self.tracelog is not None:
+            self.tracelog.reset()
         self._delta_base = None
 
 
@@ -246,6 +290,8 @@ class NullTelemetry:
     """
 
     enabled = False
+    tracing = False
+    tracelog = None
 
     def __init__(self):
         self.metrics = _NullMetricsRegistry()

@@ -33,6 +33,9 @@ class Dashboard:
         self.annotations: dict = defaultdict(list)
         #: job_id -> latest health summary (watchdog statuses etc.)
         self.health: dict = {}
+        #: job_id -> latest metrics snapshot (counters/gauges), fed by
+        #: MetricsEndpoint.publish or an external /metrics scrape
+        self.metrics: dict = {}
 
     # -- job monitoring (Fig 18) ------------------------------------------
     def submit_job(self, job_id: str, machine: str, user: str, name: str = "S3D") -> Job:
@@ -103,6 +106,19 @@ class Dashboard:
             "trips": summary.get("trips", 0),
         }
 
+    def ingest_metrics(self, job_id: str, snapshot: dict) -> None:
+        """Ingest a metrics-registry snapshot for a job.
+
+        Accepts the plain-data dict of ``MetricsRegistry.snapshot()`` —
+        typically pushed by
+        :meth:`repro.observability.endpoint.MetricsEndpoint.publish` or
+        rebuilt from a ``/metrics`` scrape. Only the latest snapshot per
+        job is kept (the dashboard shows current state, not history)."""
+        self.metrics[job_id] = {
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": dict(snapshot.get("gauges", {})),
+        }
+
     # -- images + annotations ----------------------------------------------
     def register_image(self, path: str, meta=None) -> None:
         self.images[path] = meta or {}
@@ -135,6 +151,16 @@ class Dashboard:
                     f"  {job_id:<12s} checks {h['checks']:>6d}  "
                     f"warns {h['warns']}  trips {h['trips']}  {dogs}"
                 )
+        if self.metrics:
+            lines.append("[metrics]")
+            for job_id in sorted(self.metrics):
+                m = self.metrics[job_id]
+                lines.append(
+                    f"  {job_id:<12s} {len(m['counters'])} counters  "
+                    f"{len(m['gauges'])} gauges"
+                )
+                for name in sorted(m["gauges"])[:4]:
+                    lines.append(f"    {name:<28s} {m['gauges'][name]:.6g}")
         if self.images:
             lines.append(f"[images] {len(self.images)} registered")
         return "\n".join(lines)

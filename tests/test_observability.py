@@ -757,3 +757,124 @@ class TestDashboardIntegration:
         dash.ingest_flight_record("j3", parsed)
         assert dash.latest("rho") is not None
         assert dash.health["j3"]["checks"] == 4
+
+
+class TestTraceRecordRoundTrip:
+    """Flight-recorder persistence of distributed-tracing state: trace
+    events attached to a step's telemetry delta survive the JSONL dump
+    and come back with ids and causal parent links intact."""
+
+    def _record_with_trace(self):
+        from repro.telemetry.tracing import TraceLog
+
+        clock = iter(float(i) for i in range(100))
+        log = TraceLog(clock=lambda: next(clock))
+        outer = log.begin_span("STEP", rank=0)
+        log.end_span(log.begin_span("RHS", rank=0))
+        log.end_span(outer)
+        ctx = log.record_send(0, 1, 700, 128)
+        log.record_recv(1, 0, 700, 128, ctx=ctx)
+        return StepRecord(
+            step=3, time=3e-8, dt=1e-8, wall_time=0.01,
+            extrema={"rho": (1.0, 1.2)}, rms={"rho": 1.1},
+            watchdogs={"nan_sentinel": "ok"},
+            telemetry={"trace": log.snapshot()},
+        )
+
+    def test_jsonl_round_trip_preserves_trace_links(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(self._record_with_trace())
+        parsed = FlightRecorder.parse(rec.to_jsonl("trace round-trip"))
+        trace = parsed["steps"][0]["telemetry"]["trace"]
+        assert trace["rank"] == -1
+        events = {e["id"]: e for e in trace["events"]}
+        assert len(events) == 4
+        by_name = {e["name"]: e for e in trace["events"] if e["kind"] == "span"}
+        assert by_name["RHS"]["parent"] == by_name["STEP"]["id"]
+        send = next(e for e in trace["events"] if e["kind"] == "send")
+        recv = next(e for e in trace["events"] if e["kind"] == "recv")
+        assert recv["parent"] == send["id"]
+        assert recv["logical"] > send["logical"]
+
+    def test_dumped_trace_stitches_into_a_timeline(self):
+        from repro.observability import timeline
+
+        fs = SimFileSystem(lustre())
+        rec = FlightRecorder(capacity=8)
+        rec.record(self._record_with_trace())
+        rec.dump(fs, "fr.jsonl", reason="test")
+        parsed = FlightRecorder.load(fs, "fr.jsonl")
+        events = timeline.stitch(
+            [parsed["steps"][0]["telemetry"]["trace"]])
+        trace = timeline.export_chrome_trace(events)
+        stats = timeline.validate_chrome_trace(trace)
+        assert stats["flows"] == 1
+
+    def test_record_without_trace_unchanged(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(StepRecord(step=1, time=1e-8, dt=1e-8))
+        parsed = FlightRecorder.parse(rec.to_jsonl("x"))
+        assert "telemetry" not in parsed["steps"][0]
+
+
+class TestOversubscriptionWarning:
+    """Satellite: the transport.oversubscribed gauge surfaces in the
+    ASCII dashboard and HTML report with an explicit warning line."""
+
+    def _rows(self, oversub=None):
+        rec = FlightRecorder(capacity=4)
+        telemetry = None
+        if oversub is not None:
+            telemetry = {"metrics": {"gauges":
+                                     {"transport.oversubscribed": oversub}}}
+        rec.record(StepRecord(step=1, time=1e-8, dt=1e-8, wall_time=0.01,
+                              extrema={"rho": (1.0, 1.2)}, rms={"rho": 1.1},
+                              watchdogs={"nan_sentinel": "ok"},
+                              telemetry=telemetry))
+        return [r.as_dict() for r in rec.records]
+
+    def test_ascii_warns_from_recorded_rows(self):
+        from repro.observability.render import render_dashboard
+
+        text = render_dashboard(self._rows(oversub=3))
+        assert "transport oversubscribed: 3 rank(s)" in text
+        assert "wall-time signals suspect" in text
+
+    def test_ascii_quiet_without_gauge(self):
+        from repro.observability.render import render_dashboard
+
+        assert "oversubscribed" not in render_dashboard(self._rows())
+
+    def test_live_telemetry_preferred(self):
+        from repro.observability.render import render_dashboard
+
+        tel = Telemetry()
+        tel.gauge("transport.oversubscribed").set(2)
+        text = render_dashboard(self._rows(), telemetry=tel)
+        assert "transport oversubscribed: 2 rank(s)" in text
+
+    def test_zero_gauge_stays_quiet(self):
+        tel = Telemetry()
+        tel.gauge("transport.oversubscribed").set(0)
+        from repro.observability.render import render_dashboard
+
+        assert "oversubscribed" not in render_dashboard(self._rows(),
+                                                        telemetry=tel)
+
+    def test_run_monitor_picks_up_recorder_telemetry(self):
+        tel = Telemetry()
+        tel.gauge("transport.oversubscribed").set(4)
+        rec = FlightRecorder(capacity=4, telemetry=tel)
+        rec.record(StepRecord(step=1, time=1e-8, dt=1e-8))
+        text = RunMonitor(rec).render()
+        assert "transport oversubscribed: 4 rank(s)" in text
+
+    def test_html_report_warns(self):
+        tel = Telemetry()
+        tel.gauge("transport.oversubscribed").set(2)
+        html = html_report(self._rows(), telemetry=tel)
+        assert "class='warn'" in html
+        assert "transport oversubscribed: 2 rank(s)" in html
+
+    def test_html_report_quiet_without_gauge(self):
+        assert "oversubscribed" not in html_report(self._rows())

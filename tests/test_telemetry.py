@@ -796,6 +796,50 @@ class TestMergeAndDelta:
         d = tel.snapshot(delta=True)
         assert d["metrics"]["counters"]["x"] == pytest.approx(7.0)
 
+    def test_merge_of_deltas_equals_delta_of_merge(self, clock):
+        """The fusion-path invariant: accumulating per-interval delta
+        snapshots from two backends reconstructs exactly what a single
+        merge of their final states reports — no activity is double
+        counted or lost at the snapshot boundaries."""
+
+        def act(tel, spans, x, hvals):
+            for _ in range(spans):
+                with tel.span("K"):
+                    clock.tick(1.0)
+            tel.counter("x").inc(x)
+            for v in hvals:
+                tel.histogram("h").observe(v)
+
+        a, b = Telemetry(clock=clock), Telemetry(clock=clock)
+        deltas = []
+        # interval 1
+        act(a, spans=2, x=1.0, hvals=(0.1,))
+        act(b, spans=1, x=2.0, hvals=(0.2, 0.3))
+        deltas += [a.snapshot(delta=True), b.snapshot(delta=True)]
+        # interval 2 (uneven: only a makes progress)
+        act(a, spans=3, x=4.0, hvals=())
+        deltas += [a.snapshot(delta=True), b.snapshot(delta=True)]
+
+        # sum the deltas by hand
+        span_count = sum(d["spans"].get("K", {}).get("count", 0)
+                         for d in deltas)
+        span_excl = sum(d["spans"].get("K", {}).get("exclusive", 0.0)
+                        for d in deltas)
+        x_total = sum(d["metrics"]["counters"].get("x", 0.0) for d in deltas)
+        h_count = sum(d["metrics"]["histograms"].get("h", {}).get("count", 0)
+                      for d in deltas)
+        h_sum = sum(d["metrics"]["histograms"].get("h", {}).get("sum", 0.0)
+                    for d in deltas)
+
+        merged = a.merge(b).snapshot()
+        assert merged["spans"]["K"]["count"] == span_count == 6
+        assert merged["spans"]["K"]["exclusive"] == pytest.approx(span_excl)
+        assert merged["metrics"]["counters"]["x"] == pytest.approx(
+            x_total) == pytest.approx(7.0)
+        assert merged["metrics"]["histograms"]["h"]["count"] == h_count == 3
+        assert merged["metrics"]["histograms"]["h"]["sum"] == pytest.approx(
+            h_sum)
+
 
 class TestTimerTelemetryBridge:
     """Satellite: the legacy util.timers registry forwards elapsed times
